@@ -1,0 +1,239 @@
+//! Figure 9: time-of-day and day-of-week structure of inferred congestion.
+//!
+//! "The top two histograms plot the fraction of elevated 15-minute periods
+//! that fall in each hourly bin for all links measured from two VPs ...
+//! using local time at the VP", with weekday/weekend split, against the
+//! FCC's Measuring Broadband America peak-hours definition (7pm-11pm local).
+
+use manic_core::VpLinkDays;
+use manic_netsim::time::{day_start, is_weekend, SECS_PER_HOUR};
+use manic_inference::autocorr::INTERVALS_PER_DAY;
+
+/// Hour-of-day distribution of congested 15-minute periods.
+#[derive(Debug, Clone)]
+pub struct HourlyHistogram {
+    /// Fraction of weekday congested periods per local hour (sums to 1).
+    pub weekday: [f64; 24],
+    /// Fraction of weekend congested periods per local hour (sums to 1).
+    pub weekend: [f64; 24],
+    pub weekday_periods: usize,
+    pub weekend_periods: usize,
+}
+
+impl HourlyHistogram {
+    /// Local hour with the largest weekday fraction (the pdf's mode).
+    pub fn weekday_mode(&self) -> usize {
+        (0..24).max_by(|&a, &b| self.weekday[a].total_cmp(&self.weekday[b])).unwrap()
+    }
+
+    /// Share of congested periods inside the FCC peak window (7pm-11pm
+    /// local), weekdays.
+    pub fn fcc_peak_share(&self) -> f64 {
+        (19..23).map(|h| self.weekday[h]).sum()
+    }
+
+    /// §6.4's weekend claim, quantified: cosine similarity between the
+    /// weekday and weekend hour-of-day distributions (1.0 = identical
+    /// shape). The paper observes "weekends have similar congestion
+    /// patterns as weekdays, in contrast to the FCC's classification of
+    /// weekends as off-peak periods".
+    pub fn weekend_similarity(&self) -> f64 {
+        let dot: f64 = (0..24).map(|h| self.weekday[h] * self.weekend[h]).sum();
+        let na: f64 = self.weekday.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = self.weekend.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            f64::NAN
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+/// Build the histogram over a set of per-VP link records, interpreting
+/// interval timestamps in the VP's local timezone (fixed UTC offset).
+pub fn hourly_histogram(records: &[&VpLinkDays], tz_offset_hours: i8) -> HourlyHistogram {
+    let mut weekday = [0usize; 24];
+    let mut weekend = [0usize; 24];
+    for rec in records {
+        for (&day, &mask) in &rec.day_masks {
+            for iv in 0..INTERVALS_PER_DAY {
+                if mask & (1u128 << iv) == 0 {
+                    continue;
+                }
+                let utc = day_start(day) + iv as i64 * 900;
+                let local = utc + tz_offset_hours as i64 * SECS_PER_HOUR;
+                let hour = (local.rem_euclid(86_400) / SECS_PER_HOUR) as usize;
+                if is_weekend(local) {
+                    weekend[hour] += 1;
+                } else {
+                    weekday[hour] += 1;
+                }
+            }
+        }
+    }
+    let wd_total: usize = weekday.iter().sum();
+    let we_total: usize = weekend.iter().sum();
+    let norm = |counts: [usize; 24], total: usize| {
+        let mut out = [0.0; 24];
+        if total > 0 {
+            for (o, c) in out.iter_mut().zip(counts) {
+                *o = c as f64 / total as f64;
+            }
+        }
+        out
+    };
+    HourlyHistogram {
+        weekday: norm(weekday, wd_total),
+        weekend: norm(weekend, we_total),
+        weekday_periods: wd_total,
+        weekend_periods: we_total,
+    }
+}
+
+/// §6.4's deferred analysis, implemented: the same histogram keyed by each
+/// *link's* local timezone rather than the VP's. The paper notes "each VP
+/// measures interdomain links in other time zones as well as its own.
+/// Without access to accurate router geolocation data, we defer an analysis
+/// of this phenomenon to future work" — the simulator has that geolocation,
+/// so the `tz_of_link` lookup supplies each record's true link offset.
+pub fn hourly_histogram_link_time(
+    records: &[&VpLinkDays],
+    tz_of_link: impl Fn(&VpLinkDays) -> Option<i8>,
+) -> HourlyHistogram {
+    let mut weekday = [0usize; 24];
+    let mut weekend = [0usize; 24];
+    for rec in records {
+        let Some(tz) = tz_of_link(rec) else { continue };
+        for (&day, &mask) in &rec.day_masks {
+            for iv in 0..INTERVALS_PER_DAY {
+                if mask & (1u128 << iv) == 0 {
+                    continue;
+                }
+                let local = day_start(day) + iv as i64 * 900 + tz as i64 * SECS_PER_HOUR;
+                let hour = (local.rem_euclid(86_400) / SECS_PER_HOUR) as usize;
+                if is_weekend(local) {
+                    weekend[hour] += 1;
+                } else {
+                    weekday[hour] += 1;
+                }
+            }
+        }
+    }
+    let wd_total: usize = weekday.iter().sum();
+    let we_total: usize = weekend.iter().sum();
+    let norm = |counts: [usize; 24], total: usize| {
+        let mut out = [0.0; 24];
+        if total > 0 {
+            for (o, c) in out.iter_mut().zip(counts) {
+                *o = c as f64 / total as f64;
+            }
+        }
+        out
+    };
+    HourlyHistogram {
+        weekday: norm(weekday, wd_total),
+        weekend: norm(weekend, we_total),
+        weekday_periods: wd_total,
+        weekend_periods: we_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_netsim::AsNumber;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Record congested 20:00-22:00 UTC on the given days.
+    fn rec(days: &[i64]) -> VpLinkDays {
+        let mut mask = 0u128;
+        for iv in 80..88 {
+            mask |= 1 << iv;
+        }
+        VpLinkDays {
+            vp: "vp".into(),
+            host_as: AsNumber(1),
+            neighbor_as: AsNumber(2),
+            near_ip: manic_netsim::Ipv4(1),
+            far_ip: manic_netsim::Ipv4(2),
+            day_masks: days.iter().map(|&d| (d, mask)).collect::<BTreeMap<_, _>>(),
+            observed: days.iter().copied().collect::<BTreeSet<_>>(),
+        }
+    }
+
+    #[test]
+    fn mode_follows_timezone() {
+        // Days 3..8 from the epoch: 2016-01-04 (Mon) .. 2016-01-08 (Fri).
+        let r = rec(&[3, 4, 5, 6, 7]);
+        let utc = hourly_histogram(&[&r], 0);
+        assert!(utc.weekday_mode() == 20 || utc.weekday_mode() == 21);
+        // At UTC-5 the same periods land at 15:00-17:00 local.
+        let est = hourly_histogram(&[&r], -5);
+        assert!(est.weekday_mode() == 15 || est.weekday_mode() == 16);
+    }
+
+    #[test]
+    fn weekend_split_uses_local_days() {
+        // Day 1 = 2016-01-02, a Saturday.
+        let r = rec(&[1, 4]); // Saturday and Tuesday
+        let h = hourly_histogram(&[&r], 0);
+        assert_eq!(h.weekend_periods, 8);
+        assert_eq!(h.weekday_periods, 8);
+        assert!((h.weekday.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((h.weekend.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekend_similarity_bounds() {
+        // Same band on a weekday and a weekend day: identical shapes.
+        let r = rec(&[1, 4]);
+        let h = hourly_histogram(&[&r], 0);
+        assert!((h.weekend_similarity() - 1.0).abs() < 1e-9);
+        // Weekday-only congestion: weekend histogram empty -> NaN.
+        let wd_only = rec(&[4]);
+        let h2 = hourly_histogram(&[&wd_only], 0);
+        assert!(h2.weekend_similarity().is_nan());
+    }
+
+    #[test]
+    fn fcc_peak_share_counts_evening() {
+        // Periods at 20:00-22:00 local are inside the FCC 19-23 window.
+        let r = rec(&[4]);
+        let h = hourly_histogram(&[&r], 0);
+        assert!((h.fcc_peak_share() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_time_histogram_uses_per_link_offsets() {
+        // Two links congested at the same UTC band but located in different
+        // timezones: in link-local time both histograms peak at the same
+        // hour; in any single fixed offset they cannot.
+        let east = rec(&[4, 5]); // 20:00-22:00 UTC
+        let mut west = rec(&[4, 5]);
+        // Shift the west link's UTC band 3 hours later (23:00-01:00 UTC).
+        west.day_masks = west
+            .day_masks
+            .iter()
+            .map(|(&d, &m)| (d, m << 12))
+            .collect();
+        let tz = |r: &VpLinkDays| {
+            if std::ptr::eq(r, &east) {
+                Some(-5)
+            } else {
+                Some(-8)
+            }
+        };
+        let h = hourly_histogram_link_time(&[&east, &west], tz);
+        // East: 20-22 UTC at -5 = 15-17 local; west: 23-01 UTC at -8 = 15-17.
+        assert_eq!(h.weekday_mode(), 15, "{:?}", h.weekday);
+        let single = hourly_histogram(&[&east, &west], -5);
+        assert_ne!(single.weekday_mode(), 15, "fixed offset smears the modes");
+    }
+
+    #[test]
+    fn empty_records() {
+        let h = hourly_histogram(&[], 0);
+        assert_eq!(h.weekday_periods + h.weekend_periods, 0);
+        assert!(h.weekday.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Evidence dossiers for manual inspection (§4.2).
+//!
+//! "To avoid making false inferences of congestion, we then manually
+//! inspect the results of the algorithm in cases where it asserts evidence
+//! of congestion, to confirm that the assertion is appropriate." This module
+//! renders what that inspector looks at: the asserted recurring window, the
+//! per-day estimates, and a sparkline of the far/near series around a
+//! representative congested day.
+
+use manic_core::LinkDays;
+use manic_inference::autocorr::INTERVALS_PER_DAY;
+use manic_netsim::time::{day_start, format_sim};
+use std::fmt::Write as _;
+
+/// Unicode sparkline of a dense series (None renders as space).
+pub fn sparkline(series: &[Option<f64>]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let present: Vec<f64> = series.iter().flatten().copied().collect();
+    if present.is_empty() {
+        return " ".repeat(series.len());
+    }
+    let lo = present.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    series
+        .iter()
+        .map(|v| match v {
+            None => ' ',
+            Some(x) => {
+                let idx = (((x - lo) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Render the inspection dossier for one asserted link.
+///
+/// `near`/`far` are dense 15-minute series aligned to `series_from` (any
+/// range covering at least one congested day); pass empty slices to skip the
+/// sparkline section.
+pub fn evidence_report(
+    link: &LinkDays,
+    neighbor_name: &str,
+    series_from: i64,
+    near: &[Option<f64>],
+    far: &[Option<f64>],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "link {} -> {} ({neighbor_name}), merged from {:?}",
+        link.near_ip, link.far_ip, link.vps
+    );
+    let congested = link.congested_days(0.04);
+    let _ = writeln!(
+        out,
+        "observed {} days; {} congested at the 4% bar",
+        link.observed_days(),
+        congested
+    );
+
+    // The asserted time-of-day band, from the union of day masks.
+    let mut counts = [0usize; INTERVALS_PER_DAY];
+    for mask in link.day_masks.values() {
+        for (iv, c) in counts.iter_mut().enumerate() {
+            if mask & (1u128 << iv) != 0 {
+                *c += 1;
+            }
+        }
+    }
+    if let Some(peak) = counts.iter().copied().max().filter(|&c| c > 0) {
+        let band: Vec<usize> = (0..INTERVALS_PER_DAY).filter(|&iv| counts[iv] * 2 >= peak).collect();
+        if !band.is_empty() {
+            // The band may wrap midnight (a 9pm ET peak sits at 02:00 UTC):
+            // anchor it after the largest circular gap.
+            let mut gap_at = 0usize; // band index after which the gap sits
+            let mut gap_len = 0usize;
+            for i in 0..band.len() {
+                let next = band[(i + 1) % band.len()];
+                let len = (next + INTERVALS_PER_DAY - band[i] - 1) % INTERVALS_PER_DAY;
+                if len > gap_len {
+                    gap_len = len;
+                    gap_at = i;
+                }
+            }
+            let start = band[(gap_at + 1) % band.len()];
+            let end = (band[gap_at] + 1) % INTERVALS_PER_DAY;
+            let _ = writeln!(
+                out,
+                "recurring band (UTC): {:02}:{:02} - {:02}:{:02} (peak interval recurs on {} days)",
+                start * 15 / 60,
+                start * 15 % 60,
+                end * 15 / 60,
+                end * 15 % 60,
+                peak
+            );
+        }
+    }
+
+    // Worst day.
+    if let Some((&day, _)) = link
+        .day_masks
+        .iter()
+        .max_by_key(|(_, m)| m.count_ones())
+    {
+        let _ = writeln!(
+            out,
+            "worst day: {} at {:.1}% of the day congested",
+            format_sim(day_start(day)),
+            100.0 * link.day_pct(day)
+        );
+    }
+
+    if !far.is_empty() {
+        assert_eq!(near.len(), far.len(), "aligned series required");
+        // Show the first fully-covered day.
+        let day_bins = INTERVALS_PER_DAY;
+        if far.len() >= day_bins {
+            let _ = writeln!(out, "\nfirst day of the excerpt ({}):", format_sim(series_from));
+            let _ = writeln!(out, "  far  {}", sparkline(&far[..day_bins]));
+            let _ = writeln!(out, "  near {}", sparkline(&near[..day_bins]));
+            let _ = writeln!(out, "       {}", hour_ruler());
+        }
+    }
+    out
+}
+
+/// A 96-column ruler marking hours 0, 6, 12 and 18.
+fn hour_ruler() -> String {
+    let mut ruler = vec![' '; INTERVALS_PER_DAY];
+    for (hour, label) in [(0usize, "0h"), (6, "6h"), (12, "12h"), (18, "18h")] {
+        for (k, ch) in label.chars().enumerate() {
+            ruler[hour * 4 + k] = ch;
+        }
+    }
+    ruler.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_bdrmap::infer::LinkRel;
+    use manic_netsim::AsNumber;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[test]
+    fn sparkline_scales_and_handles_gaps() {
+        let s = sparkline(&[Some(0.0), Some(0.5), None, Some(1.0)]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], ' ');
+        assert_eq!(chars[3], '█');
+        assert_eq!(sparkline(&[None, None]), "  ");
+    }
+
+    #[test]
+    fn report_contains_key_facts() {
+        let mut mask = 0u128;
+        for iv in 84..92 {
+            mask |= 1 << iv; // 21:00-23:00 UTC
+        }
+        let link = LinkDays {
+            host_as: AsNumber(1),
+            neighbor_as: AsNumber(2),
+            near_ip: manic_netsim::Ipv4(1),
+            far_ip: manic_netsim::Ipv4(2),
+            rel: LinkRel::Peer,
+            via_ixp: false,
+            vps: vec!["vp-a".into()],
+            day_masks: (0..20).map(|d| (d, mask)).collect::<BTreeMap<_, _>>(),
+            observed: (0..25).collect::<BTreeSet<_>>(),
+        };
+        let far: Vec<Option<f64>> = (0..96)
+            .map(|iv| Some(if (84..92).contains(&iv) { 55.0 } else { 20.0 }))
+            .collect();
+        let near = vec![Some(4.0); 96];
+        let report = evidence_report(&link, "google", 0, &near, &far);
+        assert!(report.contains("google"));
+        assert!(report.contains("observed 25 days; 20 congested"));
+        assert!(report.contains("recurring band (UTC): 21:00 - 23:00"));
+        assert!(report.contains("worst day"));
+        assert!(report.contains('█'));
+    }
+
+    #[test]
+    fn report_without_series_skips_sparkline() {
+        let link = LinkDays {
+            host_as: AsNumber(1),
+            neighbor_as: AsNumber(2),
+            near_ip: manic_netsim::Ipv4(1),
+            far_ip: manic_netsim::Ipv4(2),
+            rel: LinkRel::Peer,
+            via_ixp: false,
+            vps: vec!["vp".into()],
+            day_masks: BTreeMap::new(),
+            observed: BTreeSet::new(),
+        };
+        let report = evidence_report(&link, "x", 0, &[], &[]);
+        assert!(!report.contains('█'));
+        assert!(report.contains("0 congested"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Longitudinal analysis (§6): turning merged per-link day records into the
+//! paper's tables and figures.
+//!
+//! * [`study`] — the study container: day-link classification at the 4%
+//!   threshold, observation filtering (links seen ≥ 7 days), congestion
+//!   window extraction for time-series shading;
+//! * [`tables`] — Table 3 (per-access-ISP overview) and Table 4 (the
+//!   AP × T&CP matrix with `Z` / `-` notation);
+//! * [`temporal`] — Figure 7 (monthly % congested day-links per pair) and
+//!   Figure 8 (monthly mean day-link congestion % to Google and Tata);
+//! * [`diurnal`] — Figure 9 (hour-of-day distribution of recurring
+//!   congestion periods, per VP local time, weekday vs weekend, FCC peak
+//!   window);
+//! * [`render`] — plain-text table/series rendering shared by the
+//!   experiment binaries.
+
+pub mod diurnal;
+pub mod evidence;
+pub mod render;
+pub mod study;
+pub mod tables;
+pub mod temporal;
+
+pub use diurnal::{hourly_histogram, hourly_histogram_link_time, HourlyHistogram};
+pub use evidence::{evidence_report, sparkline};
+pub use study::{Study, DAY_LINK_THRESHOLD, MIN_OBSERVED_DAYS};
+pub use tables::{table3, table4, Table3Row, Table4};
+pub use temporal::{fig7_series, fig8_series, MonthlySeries};

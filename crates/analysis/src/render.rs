@@ -1,0 +1,89 @@
+//! Plain-text rendering for the experiment binaries.
+
+/// Render an aligned monospace table. The first row is the header.
+pub fn text_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Left-align the first column, right-align the rest.
+            if i == 0 {
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            } else {
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render a simple horizontal-bar chart of `(label, value)` pairs.
+pub fn bar_chart(items: &[(String, f64)], max_width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let bars = if max > 0.0 {
+            ((v / max) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {v:.3}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["name".to_string(), "v".to_string()],
+            vec!["a".to_string(), "1.5".to_string()],
+            vec!["long-name".to_string(), "22".to_string()],
+        ];
+        let t = text_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // All data lines equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(text_table(&[]), "");
+    }
+
+    #[test]
+    fn bars_scale() {
+        let items = vec![("a".to_string(), 1.0), ("b".to_string(), 0.5)];
+        let c = bar_chart(&items, 10);
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[0].matches('#').count() == 10);
+        assert!(lines[1].matches('#').count() == 5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Study container and day-link classification.
+
+use manic_core::LinkDays;
+use manic_netsim::time::{day_index, day_start, SimTime};
+use manic_netsim::AsNumber;
+
+/// §6's "significantly congested" bar: a day-link counts as congested when
+/// the day-link congestion percentage exceeds 4% (≈ one hour per day). "This
+/// restriction excluded from subsequent analysis 35.24% of the day-links
+/// that showed any congestion."
+pub const DAY_LINK_THRESHOLD: f64 = 0.04;
+
+/// Links must be observed for at least seven days to enter the analysis
+/// (§6: "limiting our analysis to links we observed for at least seven
+/// days").
+pub const MIN_OBSERVED_DAYS: usize = 7;
+
+/// A longitudinal study over merged link records.
+pub struct Study {
+    pub links: Vec<LinkDays>,
+    /// Study window (day-aligned simulation time).
+    pub from: SimTime,
+    pub to: SimTime,
+}
+
+impl Study {
+    pub fn new(links: Vec<LinkDays>, from: SimTime, to: SimTime) -> Self {
+        Study { links, from, to }
+    }
+
+    /// First/last day indices of the window.
+    pub fn day_range(&self) -> (i64, i64) {
+        (day_index(self.from), day_index(self.to))
+    }
+
+    /// Links of one access network (by host org membership), qualifying on
+    /// observation length.
+    pub fn links_of(&self, host: AsNumber) -> Vec<&LinkDays> {
+        self.links
+            .iter()
+            .filter(|l| l.host_as == host && l.observed_days() >= MIN_OBSERVED_DAYS)
+            .collect()
+    }
+
+    /// Qualifying links between one AP and one neighbor.
+    pub fn links_between(&self, host: AsNumber, neighbor: AsNumber) -> Vec<&LinkDays> {
+        self.links_of(host)
+            .into_iter()
+            .filter(|l| l.neighbor_as == neighbor)
+            .collect()
+    }
+
+    /// (congested, observed) day-link counts over a day range for a set of
+    /// links, at the 4% threshold.
+    pub fn day_link_counts(links: &[&LinkDays], from_day: i64, to_day: i64) -> (usize, usize) {
+        let mut congested = 0;
+        let mut observed = 0;
+        for l in links {
+            for &d in l.observed.range(from_day..to_day) {
+                observed += 1;
+                if l.day_pct(d) >= DAY_LINK_THRESHOLD {
+                    congested += 1;
+                }
+            }
+        }
+        (congested, observed)
+    }
+
+    /// % of congested day-links across a link set for the whole study.
+    pub fn pct_congested(&self, links: &[&LinkDays]) -> f64 {
+        let (from_day, to_day) = self.day_range();
+        let (c, o) = Self::day_link_counts(links, from_day, to_day);
+        if o == 0 {
+            f64::NAN
+        } else {
+            100.0 * c as f64 / o as f64
+        }
+    }
+}
+
+/// §6's threshold-exclusion statistic: of the day-links that showed *any*
+/// congestion, the fraction excluded by the 4% bar ("this restriction
+/// excluded from subsequent analysis 35.24% of the day-links that showed any
+/// congestion").
+pub fn threshold_exclusion_pct(links: &[&LinkDays], from_day: i64, to_day: i64) -> f64 {
+    let mut any = 0usize;
+    let mut excluded = 0usize;
+    for l in links {
+        for (_d, &mask) in l.day_masks.range(from_day..to_day) {
+            if mask == 0 {
+                continue;
+            }
+            any += 1;
+            if (mask.count_ones() as f64 / 96.0) < DAY_LINK_THRESHOLD {
+                excluded += 1;
+            }
+        }
+    }
+    if any == 0 {
+        f64::NAN
+    } else {
+        100.0 * excluded as f64 / any as f64
+    }
+}
+
+/// Contiguous congested wall-clock windows of a link within `[from, to)`,
+/// for shading Figure 3/6-style time series. Merges adjacent 15-minute
+/// intervals (including across midnight).
+pub fn congestion_windows(link: &LinkDays, from: SimTime, to: SimTime) -> Vec<(SimTime, SimTime)> {
+    let mut out: Vec<(SimTime, SimTime)> = Vec::new();
+    let first = day_index(from);
+    let last = day_index(to - 1);
+    for day in first..=last {
+        let Some(&mask) = link.day_masks.get(&day) else { continue };
+        for iv in 0..manic_inference::autocorr::INTERVALS_PER_DAY {
+            if mask & (1u128 << iv) == 0 {
+                continue;
+            }
+            let s = day_start(day) + (iv as i64) * 900;
+            let e = s + 900;
+            if e <= from || s >= to {
+                continue;
+            }
+            match out.last_mut() {
+                Some(lastw) if lastw.1 == s => lastw.1 = e,
+                _ => out.push((s, e)),
+            }
+        }
+    }
+    out
+}
+
+/// Is instant `t` inside an inferred congestion interval of `link`?
+pub fn is_congested_at(link: &LinkDays, t: SimTime) -> bool {
+    let day = day_index(t);
+    let iv = (t - day_start(day)) / 900;
+    link.day_masks
+        .get(&day)
+        .map(|m| m & (1u128 << iv) != 0)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_bdrmap::infer::LinkRel;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn link(host: u32, neigh: u32, days: &[(i64, u128)], observed: &[i64]) -> LinkDays {
+        LinkDays {
+            host_as: AsNumber(host),
+            neighbor_as: AsNumber(neigh),
+            near_ip: manic_netsim::Ipv4(1),
+            far_ip: manic_netsim::Ipv4(2),
+            rel: LinkRel::Peer,
+            via_ixp: false,
+            vps: vec!["vp".into()],
+            day_masks: BTreeMap::from_iter(days.iter().copied()),
+            observed: BTreeSet::from_iter(observed.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn day_link_threshold() {
+        // 4 intervals = 4.17% >= 4%: congested. 3 intervals = 3.1%: not.
+        let l4 = link(1, 2, &[(10, 0b1111)], &[10]);
+        let l3 = link(1, 2, &[(11, 0b111)], &[11]);
+        assert_eq!(Study::day_link_counts(&[&l4], 0, 100), (1, 1));
+        assert_eq!(Study::day_link_counts(&[&l3], 0, 100), (0, 1));
+    }
+
+    #[test]
+    fn observation_filter() {
+        let short = link(1, 2, &[], &[1, 2, 3]);
+        let long = link(1, 2, &[], &(0..10).collect::<Vec<_>>());
+        let study = Study::new(vec![short, long], 0, 100 * 86_400);
+        assert_eq!(study.links_of(AsNumber(1)).len(), 1);
+    }
+
+    #[test]
+    fn windows_merge_adjacent_intervals() {
+        // Intervals 4,5,6 and 20 on day 0.
+        let mask = (1u128 << 4) | (1 << 5) | (1 << 6) | (1 << 20);
+        let l = link(1, 2, &[(0, mask)], &[0]);
+        let w = congestion_windows(&l, 0, 86_400);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], (4 * 900, 7 * 900));
+        assert_eq!(w[1], (20 * 900, 21 * 900));
+        assert!(is_congested_at(&l, 5 * 900 + 10));
+        assert!(!is_congested_at(&l, 10 * 900));
+    }
+
+    #[test]
+    fn windows_cross_midnight() {
+        let mask_last = 1u128 << 95;
+        let mask_first = 1u128 << 0;
+        let l = link(1, 2, &[(0, mask_last), (1, mask_first)], &[0, 1]);
+        let w = congestion_windows(&l, 0, 2 * 86_400);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0], (95 * 900, 86_400 + 900));
+    }
+
+    #[test]
+    fn pct_congested_basic() {
+        // 10 observed days, 5 congested.
+        let days: Vec<(i64, u128)> = (0..5).map(|d| (d, 0x3Fu128)).collect();
+        let l = link(1, 2, &days, &(0..10).collect::<Vec<_>>());
+        let study = Study::new(vec![l], 0, 10 * 86_400);
+        let links = study.links_of(AsNumber(1));
+        assert!((study.pct_congested(&links) - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,201 @@
+//! Table 3 (per-AP overview) and Table 4 (AP × T&CP matrix).
+
+use crate::study::Study;
+use manic_netsim::AsNumber;
+
+/// "Congested peer" bar for Table 3's middle column: a T&CP counts as
+/// congested when the pair's % congested day-links reaches this value (the
+/// paper does not state its bar explicitly; this reproduces its counts).
+pub const CONGESTED_PEER_PCT: f64 = 2.5;
+
+/// One Table 3 row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    pub network: String,
+    /// Observed transit & content providers (qualifying links to ≥7-day
+    /// observation).
+    pub observed: usize,
+    /// T&CPs whose pair-level congestion clears [`CONGESTED_PEER_PCT`].
+    pub congested: usize,
+    /// % congested day-links across all the AP's qualifying T&CP links.
+    pub pct_congested_day_links: f64,
+}
+
+/// Compute Table 3. `aps` are `(asn, display name)` rows in table order;
+/// `tcps` restricts to the transit/content population under study.
+pub fn table3(study: &Study, aps: &[(AsNumber, &str)], tcps: &[AsNumber]) -> Vec<Table3Row> {
+    aps.iter()
+        .map(|&(ap, name)| {
+            let links = study.links_of(ap);
+            let tcp_links: Vec<_> = links
+                .iter()
+                .filter(|l| tcps.contains(&l.neighbor_as))
+                .copied()
+                .collect();
+            let observed: std::collections::BTreeSet<AsNumber> =
+                tcp_links.iter().map(|l| l.neighbor_as).collect();
+            let congested = observed
+                .iter()
+                .filter(|&&tcp| {
+                    let pair: Vec<_> =
+                        tcp_links.iter().filter(|l| l.neighbor_as == tcp).copied().collect();
+                    study.pct_congested(&pair) >= CONGESTED_PEER_PCT
+                })
+                .count();
+            Table3Row {
+                network: name.to_string(),
+                observed: observed.len(),
+                congested,
+                pct_congested_day_links: study.pct_congested(&tcp_links),
+            }
+        })
+        .collect()
+}
+
+/// A Table 4 cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// % congested day-links.
+    Pct(f64),
+    /// Congested day-links below 0.01% ("Z" in the paper).
+    Zero,
+    /// No observations ("-").
+    None,
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Pct(p) => write!(f, "{p:.2}"),
+            Cell::Zero => write!(f, "Z"),
+            Cell::None => write!(f, "-"),
+        }
+    }
+}
+
+/// The AP × T&CP matrix.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// Column access providers `(asn, name)`.
+    pub aps: Vec<(AsNumber, String)>,
+    /// Row T&CPs `(asn, name)`.
+    pub tcps: Vec<(AsNumber, String)>,
+    /// `cells[tcp_row][ap_col]`.
+    pub cells: Vec<Vec<Cell>>,
+}
+
+impl Table4 {
+    pub fn cell(&self, tcp: AsNumber, ap: AsNumber) -> Cell {
+        let r = self.tcps.iter().position(|(a, _)| *a == tcp).expect("tcp row");
+        let c = self.aps.iter().position(|(a, _)| *a == ap).expect("ap col");
+        self.cells[r][c]
+    }
+}
+
+/// Compute Table 4 for the given row/column populations.
+pub fn table4(
+    study: &Study,
+    aps: &[(AsNumber, &str)],
+    tcps: &[(AsNumber, &str)],
+) -> Table4 {
+    let mut cells = Vec::with_capacity(tcps.len());
+    for &(tcp, _) in tcps {
+        let mut row = Vec::with_capacity(aps.len());
+        for &(ap, _) in aps {
+            let pair = study.links_between(ap, tcp);
+            let cell = if pair.is_empty() {
+                Cell::None
+            } else {
+                let pct = study.pct_congested(&pair);
+                if pct.is_nan() {
+                    Cell::None
+                } else if pct < 0.01 {
+                    Cell::Zero
+                } else {
+                    Cell::Pct(pct)
+                }
+            };
+            row.push(cell);
+        }
+        cells.push(row);
+    }
+    Table4 {
+        aps: aps.iter().map(|&(a, n)| (a, n.to_string())).collect(),
+        tcps: tcps.iter().map(|&(a, n)| (a, n.to_string())).collect(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_bdrmap::infer::LinkRel;
+    use manic_core::LinkDays;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn link(host: u32, neigh: u32, congested_days: i64, observed_days: i64) -> LinkDays {
+        let mask = 0xFFu128; // 8 intervals ≈ 8.3% of the day
+        LinkDays {
+            host_as: AsNumber(host),
+            neighbor_as: AsNumber(neigh),
+            near_ip: manic_netsim::Ipv4(host * 1000 + neigh),
+            far_ip: manic_netsim::Ipv4(host * 1000 + neigh + 1),
+            rel: LinkRel::Peer,
+            via_ixp: false,
+            vps: vec!["vp".into()],
+            day_masks: (0..congested_days).map(|d| (d, mask)).collect::<BTreeMap<_, _>>(),
+            observed: (0..observed_days).collect::<BTreeSet<_>>(),
+        }
+    }
+
+    fn study() -> Study {
+        Study::new(
+            vec![
+                link(1, 100, 50, 100), // AP1-TCP100: 50% congested
+                link(1, 200, 0, 100),  // AP1-TCP200: clean
+                link(2, 100, 1, 100),  // AP2-TCP100: 1% (below the peer bar)
+            ],
+            0,
+            100 * 86_400,
+        )
+    }
+
+    #[test]
+    fn table3_counts() {
+        let s = study();
+        let rows = table3(
+            &s,
+            &[(AsNumber(1), "ap1"), (AsNumber(2), "ap2")],
+            &[AsNumber(100), AsNumber(200)],
+        );
+        assert_eq!(rows[0].observed, 2);
+        assert_eq!(rows[0].congested, 1);
+        assert!((rows[0].pct_congested_day_links - 25.0).abs() < 1e-9);
+        assert_eq!(rows[1].observed, 1);
+        assert_eq!(rows[1].congested, 0);
+    }
+
+    #[test]
+    fn table4_cells() {
+        let s = study();
+        let t = table4(
+            &s,
+            &[(AsNumber(1), "ap1"), (AsNumber(2), "ap2")],
+            &[(AsNumber(100), "tcp100"), (AsNumber(200), "tcp200")],
+        );
+        assert_eq!(t.cell(AsNumber(100), AsNumber(1)), Cell::Pct(50.0));
+        assert_eq!(t.cell(AsNumber(200), AsNumber(1)), Cell::Zero);
+        assert_eq!(t.cell(AsNumber(200), AsNumber(2)), Cell::None);
+        match t.cell(AsNumber(100), AsNumber(2)) {
+            Cell::Pct(p) => assert!((p - 1.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_display() {
+        assert_eq!(Cell::Pct(21.63).to_string(), "21.63");
+        assert_eq!(Cell::Zero.to_string(), "Z");
+        assert_eq!(Cell::None.to_string(), "-");
+    }
+}

@@ -1,0 +1,186 @@
+//! Monthly roll-ups: Figure 7 and Figure 8.
+
+use crate::study::{Study, DAY_LINK_THRESHOLD};
+use manic_core::LinkDays;
+use manic_netsim::time::{day_index, month_label, month_start};
+use manic_netsim::AsNumber;
+
+/// One monthly series for an (AP, T&CP) pair.
+#[derive(Debug, Clone)]
+pub struct MonthlySeries {
+    pub ap: AsNumber,
+    pub tcp: AsNumber,
+    /// `(month index, value)`, only months with observations.
+    pub points: Vec<(u32, f64)>,
+}
+
+impl MonthlySeries {
+    pub fn value_at(&self, month: u32) -> Option<f64> {
+        self.points.iter().find(|(m, _)| *m == month).map(|&(_, v)| v)
+    }
+
+    /// Render as `Mar'16:12.3 Apr'16:...` for the experiment binaries.
+    pub fn render(&self) -> String {
+        self.points
+            .iter()
+            .map(|&(m, v)| format!("{}:{:.1}", month_label(m), v))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Month range helper: day bounds of month `m` clipped to the study.
+fn month_days(study: &Study, m: u32) -> (i64, i64) {
+    let (sfrom, sto) = study.day_range();
+    let lo = day_index(month_start(m)).max(sfrom);
+    let hi = day_index(month_start(m + 1)).min(sto);
+    (lo, hi)
+}
+
+/// Figure 7: per month, the percentage of the pair's day-links classified
+/// congested (4% bar).
+pub fn fig7_series(
+    study: &Study,
+    ap: AsNumber,
+    tcp: AsNumber,
+    months: std::ops::Range<u32>,
+) -> MonthlySeries {
+    let links = study.links_between(ap, tcp);
+    let mut points = Vec::new();
+    for m in months {
+        let (lo, hi) = month_days(study, m);
+        if lo >= hi {
+            continue;
+        }
+        let (c, o) = Study::day_link_counts(&links, lo, hi);
+        if o > 0 {
+            points.push((m, 100.0 * c as f64 / o as f64));
+        }
+    }
+    MonthlySeries { ap, tcp, points }
+}
+
+/// Figure 8: "mean congestion between two networks over a month \[is\] the
+/// average percentage congestion on all day-links between those networks
+/// where any congestion was detected."
+pub fn fig8_series(
+    study: &Study,
+    ap: AsNumber,
+    tcp: AsNumber,
+    months: std::ops::Range<u32>,
+) -> MonthlySeries {
+    let links = study.links_between(ap, tcp);
+    let mut points = Vec::new();
+    for m in months {
+        let (lo, hi) = month_days(study, m);
+        if lo >= hi {
+            continue;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for l in &links {
+            for &d in l.observed.range(lo..hi) {
+                let pct = l.day_pct(d);
+                if pct > 0.0 {
+                    sum += 100.0 * pct;
+                    n += 1;
+                }
+            }
+        }
+        if n > 0 {
+            points.push((m, sum / n as f64));
+        }
+    }
+    MonthlySeries { ap, tcp, points }
+}
+
+/// Congested day-link share of a set of pairs relative to all congested
+/// day-links in the study (Table 4's caption: the nine T&CPs "represent 89%
+/// of all observed congested day-links").
+pub fn congested_share(study: &Study, host_aps: &[AsNumber], tcps: &[AsNumber]) -> f64 {
+    let all: Vec<&LinkDays> = host_aps.iter().flat_map(|&ap| study.links_of(ap)).collect();
+    let (from_day, to_day) = study.day_range();
+    let total: usize = all
+        .iter()
+        .map(|l| {
+            l.observed
+                .range(from_day..to_day)
+                .filter(|&&d| l.day_pct(d) >= DAY_LINK_THRESHOLD)
+                .count()
+        })
+        .sum();
+    let subset: usize = all
+        .iter()
+        .filter(|l| tcps.contains(&l.neighbor_as))
+        .map(|l| {
+            l.observed
+                .range(from_day..to_day)
+                .filter(|&&d| l.day_pct(d) >= DAY_LINK_THRESHOLD)
+                .count()
+        })
+        .sum();
+    if total == 0 {
+        f64::NAN
+    } else {
+        100.0 * subset as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_bdrmap::infer::LinkRel;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// A link congested (8 intervals/day) on the given absolute days.
+    fn link(host: u32, neigh: u32, congested: &[i64], observed: std::ops::Range<i64>) -> LinkDays {
+        LinkDays {
+            host_as: AsNumber(host),
+            neighbor_as: AsNumber(neigh),
+            near_ip: manic_netsim::Ipv4(1),
+            far_ip: manic_netsim::Ipv4(neigh),
+            rel: LinkRel::Peer,
+            via_ixp: false,
+            vps: vec!["vp".into()],
+            day_masks: congested.iter().map(|&d| (d, 0xFFu128)).collect::<BTreeMap<_, _>>(),
+            observed: observed.collect::<BTreeSet<_>>(),
+        }
+    }
+
+    #[test]
+    fn fig7_monthly_percentages() {
+        // Jan 2016 (days 0..31), congested for 15 of the first 30 days.
+        let l = link(1, 9, &(0..15).collect::<Vec<_>>(), 0..60);
+        let study = Study::new(vec![l], 0, 60 * 86_400);
+        let s = fig7_series(&study, AsNumber(1), AsNumber(9), 0..2);
+        let jan = s.value_at(0).unwrap();
+        assert!((jan - 100.0 * 15.0 / 31.0).abs() < 1e-9, "jan={jan}");
+        let feb = s.value_at(1).unwrap();
+        assert_eq!(feb, 0.0);
+    }
+
+    #[test]
+    fn fig8_means_only_congested_days() {
+        // 10 congested days at 8/96 ≈ 8.33%; uncongested days excluded.
+        let l = link(1, 9, &(0..10).collect::<Vec<_>>(), 0..31);
+        let study = Study::new(vec![l], 0, 31 * 86_400);
+        let s = fig8_series(&study, AsNumber(1), AsNumber(9), 0..1);
+        let v = s.value_at(0).unwrap();
+        assert!((v - 100.0 * 8.0 / 96.0).abs() < 1e-6, "v={v}");
+    }
+
+    #[test]
+    fn share_of_congested_daylinks() {
+        let a = link(1, 9, &(0..10).collect::<Vec<_>>(), 0..31);
+        let b = link(1, 8, &(0..5).collect::<Vec<_>>(), 0..31);
+        let study = Study::new(vec![a, b], 0, 31 * 86_400);
+        let share = congested_share(&study, &[AsNumber(1)], &[AsNumber(9)]);
+        assert!((share - 100.0 * 10.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_format() {
+        let s = MonthlySeries { ap: AsNumber(1), tcp: AsNumber(2), points: vec![(2, 12.34)] };
+        assert_eq!(s.render(), "Mar'16:12.3");
+    }
+}

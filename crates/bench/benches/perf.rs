@@ -1,0 +1,191 @@
+//! Performance benchmarks for the core primitives.
+//!
+//! These gauge the system's capacity headroom: a production deployment
+//! probes thousands of links from dozens of VPs, so FIB lookups, probe
+//! forwarding, series synthesis, and the inference passes must be cheap.
+//! Run with `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use manic_inference::{analyze_window, detect_level_shifts, AutocorrConfig, LevelShiftConfig};
+use manic_netsim::{Fib, IfaceId, Ipv4, Prefix, ProbeSpec, SimState};
+use manic_probing::tslp::synthesize_task;
+use manic_probing::VpHandle;
+use manic_scenario::worlds::{toy, toy_asns};
+use manic_tsdb::{Aggregate, SeriesKey, Store};
+
+fn bench_fib(c: &mut Criterion) {
+    // A FIB with 512 routes of mixed length, queried across the space.
+    let mut fib = Fib::new();
+    for i in 0..256u32 {
+        fib.insert(Prefix::new(Ipv4::new(10, (i % 200) as u8, (i / 8) as u8, 0), 24), vec![IfaceId(i)]);
+        fib.insert(Prefix::new(Ipv4::new(10, (i % 200) as u8, 0, 0), 16), vec![IfaceId(i)]);
+    }
+    let dsts: Vec<Ipv4> = (0..1024u32).map(|i| Ipv4::new(10, (i % 211) as u8, (i % 97) as u8, 1)).collect();
+    c.bench_function("fib_lookup_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &d in &dsts {
+                if fib.lookup(std::hint::black_box(d)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let w = toy(1);
+    let vp = w.vp("acme-nyc");
+    let dst = w.host_addr(toy_asns::CDNCO, 0);
+    c.bench_function("netsim_send_probe", |b| {
+        let mut st = SimState::new();
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 1;
+            w.net.send_probe(
+                &mut st,
+                ProbeSpec { src: vp.router, src_addr: vp.addr, dst, ttl: 4, flow_id: 7 },
+                t,
+            )
+        })
+    });
+}
+
+fn bench_tslp_synthesis(c: &mut Criterion) {
+    let w = toy(1);
+    let gt = &w.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+    let vpr = w.vp("acme-nyc");
+    let vp = VpHandle { name: vpr.name.clone(), router: vpr.router, addr: vpr.addr };
+    let task = manic_probing::TslpTask {
+        near_ip: gt.near_addr_from(toy_asns::ACME),
+        far_ip: gt.far_addr_from(toy_asns::ACME),
+        dests: vec![manic_probing::TslpDest { dst: w.host_addr(toy_asns::CDNCO, 0), near_ttl: 2, far_ttl: 3 }],
+        flow_id: 7,
+    };
+    // One link-day at 15-minute bins: the unit of the longitudinal sweep.
+    c.bench_function("tslp_synthesize_link_day", |b| {
+        b.iter(|| synthesize_task(&w.net, &vp, &task, 0, 86_400, 900))
+    });
+}
+
+fn bench_autocorr(c: &mut Criterion) {
+    // A 50-day window with a clean diurnal congestion pattern.
+    let far: Vec<Option<f64>> = (0..50 * 96)
+        .map(|i| {
+            let iv = i % 96;
+            Some(if (80..92).contains(&iv) { 65.0 } else { 30.0 + (i % 3) as f64 * 0.2 })
+        })
+        .collect();
+    let near = vec![Some(5.0); 50 * 96];
+    let cfg = AutocorrConfig::default();
+    c.bench_function("autocorr_50day_window", |b| {
+        b.iter(|| analyze_window(&near, &far, &cfg))
+    });
+}
+
+fn bench_levelshift(c: &mut Criterion) {
+    // One week of 5-minute bins with two planted shifts.
+    let series: Vec<Option<f64>> = (0..2016)
+        .map(|i| {
+            let base = 20.0 + (i % 5) as f64 * 0.1;
+            let shift = if (500..700).contains(&i) || (1400..1500).contains(&i) { 30.0 } else { 0.0 };
+            Some(base + shift)
+        })
+        .collect();
+    let cfg = LevelShiftConfig::default();
+    c.bench_function("levelshift_week", |b| {
+        b.iter(|| detect_level_shifts(&series, &cfg))
+    });
+}
+
+fn bench_tsdb(c: &mut Criterion) {
+    c.bench_function("tsdb_ingest_10k", |b| {
+        b.iter_batched(
+            Store::new,
+            |store| {
+                let key = SeriesKey::with_tags("tslp", &[("vp", "a"), ("link", "L"), ("end", "far")]);
+                for t in 0..10_000i64 {
+                    store.write(&key, t * 300, 20.0 + (t % 7) as f64);
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let store = Store::new();
+    let key = SeriesKey::with_tags("tslp", &[("vp", "a"), ("link", "L"), ("end", "far")]);
+    for t in 0..100_000i64 {
+        store.write(&key, t * 300, 20.0 + (t % 7) as f64);
+    }
+    c.bench_function("tsdb_downsample_100k_min", |b| {
+        b.iter(|| store.downsample(&key, 0, 100_000 * 300, 900, Aggregate::Min))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let a: Vec<f64> = (0..500).map(|i| 20.0 + (i % 13) as f64 * 0.3).collect();
+    let bvec: Vec<f64> = (0..500).map(|i| 21.0 + (i % 11) as f64 * 0.3).collect();
+    c.bench_function("ttest_500x500", |b| {
+        b.iter(|| manic_stats::two_sample_t(&a, &bvec, manic_stats::Tails::TwoSided))
+    });
+    c.bench_function("binomial_proportion_test", |b| {
+        b.iter(|| {
+            manic_stats::two_proportion_z_test(
+                std::hint::black_box(812),
+                86_400,
+                std::hint::black_box(214),
+                432_000,
+                manic_stats::Tails::Greater,
+            )
+        })
+    });
+}
+
+fn bench_macro(c: &mut Criterion) {
+    use manic_core::{run_longitudinal, LongitudinalConfig, System, SystemConfig};
+    use manic_netsim::time::{date_to_sim, Date, SECS_PER_DAY};
+
+    // A full bdrmap cycle on the toy world: traceroutes to every prefix,
+    // alias resolution, inference, probing-set update.
+    c.bench_function("bdrmap_cycle_toy", |b| {
+        b.iter_batched(
+            || System::new(toy(1), SystemConfig::default()),
+            |mut sys| {
+                sys.run_bdrmap_cycle(0, 0);
+                sys
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Sixty simulated days of the full longitudinal pipeline on the toy
+    // world (discovery + synthesis + sliding autocorrelation + merge).
+    let mut group = c.benchmark_group("macro");
+    group.sample_size(10);
+    group.bench_function("longitudinal_toy_60d", |b| {
+        b.iter_batched(
+            || System::new(toy(1), SystemConfig::default()),
+            |mut sys| {
+                let from = date_to_sim(Date::new(2016, 4, 1));
+                let cfg = LongitudinalConfig::new(from, from + 60 * SECS_PER_DAY);
+                run_longitudinal(&mut sys, &cfg)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fib,
+    bench_forwarding,
+    bench_tslp_synthesis,
+    bench_autocorr,
+    bench_levelshift,
+    bench_tsdb,
+    bench_stats,
+    bench_macro
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Run every paper-artifact experiment and save results under `results/`.
+use manic_bench::experiments as exp;
+
+fn section(title: &str, body: &str, file: &str) {
+    println!("\n================================================================");
+    println!("== {title}");
+    println!("================================================================\n");
+    println!("{body}");
+    manic_bench::save_result(file, body);
+}
+
+fn main() {
+    // The §6 longitudinal family shares one study run.
+    let mut sys = manic_bench::us_system();
+    let (study, out_data) = manic_bench::run_us_study(&mut sys);
+    section("Table 3", &exp::longitudinal::run_table3(&study, &sys.world), "table3_overview");
+    section("Census (sec. 6 intro)", &exp::longitudinal::run_census(&study, &sys), "census");
+    section("Table 4", &exp::longitudinal::run_table4(&study, &sys.world), "table4_matrix");
+    section("Figure 7", &exp::longitudinal::run_fig7(&study), "fig7_temporal");
+    section("Figure 8", &exp::longitudinal::run_fig8(&study), "fig8_degree");
+    section("Figure 9", &exp::longitudinal::run_fig9(&out_data), "fig9_comcast_hours");
+    section(
+        "Figure 9 companion (link-local time)",
+        &exp::longitudinal::run_fig9_link_time(&out_data, &sys.world),
+        "fig9_link_time",
+    );
+    drop(sys);
+
+    section("Figure 3", &exp::fig3::run(), "fig3_timeseries");
+    section("Table 2", &exp::ndt::run(), "table2_ndt");
+    section("Figure 6", &exp::ndt::run_fig6(), "fig6_ndt_timeseries");
+    let (fig4, fig5) = exp::youtube::run();
+    section("Figure 4", &fig4, "fig4_youtube_cdfs");
+    section("Figure 5", &fig5, "fig5_failure_rates");
+    section("Table 1", &exp::table1::run(), "table1_loss_validation");
+    section("Section 5.4", &exp::operator::run(), "sec54_operator_validation");
+    println!("\nAll experiments complete; outputs saved under results/.");
+    println!("Surveys and ablations have their own binaries: asymmetry_survey,");
+    println!("response_rates, ablation_autocorr, ablation_levelshift, export_world.");
+}

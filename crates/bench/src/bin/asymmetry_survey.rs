@@ -1,0 +1,84 @@
+//! §7 asymmetry survey: how often do TSLP far-end replies come home over a
+//! different interconnection than the one probed?
+//!
+//! The paper argues this is structurally rare ("for a probe that terminates
+//! at the far end of an interconnection, the closest path back to the VP is
+//! across that same link. ... Our initial exploration of this case suggests
+//! it is rare") and proposes record-route + baseline-delay checks to detect
+//! it. This survey runs both checks across every (VP, link) pair of the US
+//! world.
+
+use manic_core::{System, SystemConfig};
+use manic_probing::asymmetry::check_far_end;
+use manic_probing::{trace, VpHandle};
+use manic_scenario::worlds::us_broadband;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut sys = System::new(us_broadband(manic_bench::SEED), SystemConfig::default());
+    let t0 = manic_bench::at(2017, 3, 1);
+    let mut total = 0usize;
+    let mut rr_asym = 0usize;
+    let mut baseline_only = 0usize;
+    let mut rows = String::new();
+    for vi in 0..sys.vps.len() {
+        sys.run_bdrmap_cycle(vi, t0);
+        let world = &sys.world;
+        let vp = &mut sys.vps[vi];
+        let handle = VpHandle {
+            name: vp.handle.name.clone(),
+            router: vp.handle.router,
+            addr: vp.handle.addr,
+        };
+        let tasks = vp.tslp.tasks.clone();
+        for task in &tasks {
+            let Some(dest) = task.dests.first() else { continue };
+            // Re-trace the discovering path and run the RR + baseline check.
+            let tr = trace(&world.net, &mut vp.sim, &handle, dest.dst, task.flow_id, t0, 40, 3);
+            let Some(report) =
+                check_far_end(&world.net, &mut vp.sim, &handle, &tr, dest.far_ttl, t0)
+            else {
+                continue;
+            };
+            total += 1;
+            if !report.foreign_reply_ifaces.is_empty() {
+                rr_asym += 1;
+                let _ = writeln!(
+                    rows,
+                    "  RR-CONFIRMED  {} far {}: foreign reply ifaces {:?}",
+                    handle.name, task.far_ip, report.foreign_reply_ifaces
+                );
+            } else if report.asymmetric {
+                baseline_only += 1;
+                let _ = writeln!(
+                    rows,
+                    "  baseline-only {} far {}: gap {:.1} ms (long-haul link)",
+                    handle.name,
+                    task.far_ip,
+                    report.baseline_gap_ms.unwrap_or(f64::NAN)
+                );
+            }
+        }
+    }
+    let mut out = String::from(
+        "Asymmetry survey (section 7) — record-route + baseline-delay checks on\nevery (VP, interdomain link) probing pair of the US world.\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "{} probing pairs checked; {} truly asymmetric by record-route ({:.2}%);\n{} additional baseline-delay flags ({:.2}%) are long-haul (remote-peering)\nlinks whose far-minus-near gap is propagation, not a detour — a false-alarm\nmode of the paper's simpler delay heuristic that the RR check resolves.",
+        total,
+        rr_asym,
+        100.0 * rr_asym as f64 / total.max(1) as f64,
+        baseline_only,
+        100.0 * baseline_only as f64 / total.max(1) as f64
+    );
+    if rr_asym + baseline_only > 0 {
+        out.push_str("\nFlagged pairs:\n");
+        out.push_str(&rows);
+    }
+    out.push_str(
+        "\nPaper: \"our initial exploration of this case suggests it is rare\" —\nthe far-end reply's shortest way home is the probed link itself.\n",
+    );
+    println!("{out}");
+    manic_bench::save_result("asymmetry_survey", &out);
+}

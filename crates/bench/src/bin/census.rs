@@ -1,0 +1,9 @@
+//! Regenerate the §6-intro census (neighbors by relationship + exclusion
+//! statistic).
+fn main() {
+    let mut sys = manic_bench::us_system();
+    let (study, _) = manic_bench::run_us_study(&mut sys);
+    let out = manic_bench::experiments::longitudinal::run_census(&study, &sys);
+    println!("{out}");
+    manic_bench::save_result("census", &out);
+}

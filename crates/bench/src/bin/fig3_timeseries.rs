@@ -1,0 +1,6 @@
+//! Regenerate Figure 3 (TSLP latency + loss time series, Verizon-Google).
+fn main() {
+    let out = manic_bench::experiments::fig3::run();
+    println!("{out}");
+    manic_bench::save_result("fig3_timeseries", &out);
+}

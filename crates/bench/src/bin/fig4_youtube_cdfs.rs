@@ -1,0 +1,8 @@
+//! Regenerate Figure 4 (YouTube throughput/startup CDFs) and Figure 5 data.
+fn main() {
+    let (fig4, fig5) = manic_bench::experiments::youtube::run();
+    println!("{fig4}");
+    println!("{fig5}");
+    manic_bench::save_result("fig4_youtube_cdfs", &fig4);
+    manic_bench::save_result("fig5_failure_rates", &fig5);
+}

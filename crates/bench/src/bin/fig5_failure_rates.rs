@@ -1,0 +1,6 @@
+//! Regenerate Figure 5 (streaming failure rates per VP/link).
+fn main() {
+    let (_, fig5) = manic_bench::experiments::youtube::run();
+    println!("{fig5}");
+    manic_bench::save_result("fig5_failure_rates", &fig5);
+}

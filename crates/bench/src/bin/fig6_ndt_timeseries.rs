@@ -1,0 +1,6 @@
+//! Regenerate Figure 6 (TSLP + NDT time series, Comcast-Tata Link 1).
+fn main() {
+    let out = manic_bench::experiments::ndt::run_fig6();
+    println!("{out}");
+    manic_bench::save_result("fig6_ndt_timeseries", &out);
+}

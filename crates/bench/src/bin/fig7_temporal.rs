@@ -1,0 +1,8 @@
+//! Regenerate Figure 7 (monthly % congested day-links per pair).
+fn main() {
+    let mut sys = manic_bench::us_system();
+    let (study, _) = manic_bench::run_us_study(&mut sys);
+    let out = manic_bench::experiments::longitudinal::run_fig7(&study);
+    println!("{out}");
+    manic_bench::save_result("fig7_temporal", &out);
+}

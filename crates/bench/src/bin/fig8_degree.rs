@@ -1,0 +1,8 @@
+//! Regenerate Figure 8 (monthly mean congestion to Google and Tata).
+fn main() {
+    let mut sys = manic_bench::us_system();
+    let (study, _) = manic_bench::run_us_study(&mut sys);
+    let out = manic_bench::experiments::longitudinal::run_fig8(&study);
+    println!("{out}");
+    manic_bench::save_result("fig8_degree", &out);
+}

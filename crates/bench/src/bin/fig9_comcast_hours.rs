@@ -1,0 +1,8 @@
+//! Regenerate Figure 9 (hour-of-day congestion histograms, Comcast VPs).
+fn main() {
+    let mut sys = manic_bench::us_system();
+    let (_, out_data) = manic_bench::run_us_study(&mut sys);
+    let out = manic_bench::experiments::longitudinal::run_fig9(&out_data);
+    println!("{out}");
+    manic_bench::save_result("fig9_comcast_hours", &out);
+}

@@ -1,0 +1,6 @@
+//! Regenerate the Section 5.4 operator ground-truth validation.
+fn main() {
+    let out = manic_bench::experiments::operator::run();
+    println!("{out}");
+    manic_bench::save_result("sec54_operator_validation", &out);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1 (loss-rate validation of congestion inferences).
+fn main() {
+    let out = manic_bench::experiments::table1::run();
+    println!("{out}");
+    manic_bench::save_result("table1_loss_validation", &out);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 2 (NDT throughput, congested vs uncongested).
+fn main() {
+    let out = manic_bench::experiments::ndt::run();
+    println!("{out}");
+    manic_bench::save_result("table2_ndt", &out);
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 3 (per-access-ISP congestion overview).
+fn main() {
+    let mut sys = manic_bench::us_system();
+    let (study, _) = manic_bench::run_us_study(&mut sys);
+    let out = manic_bench::experiments::longitudinal::run_table3(&study, &sys.world);
+    println!("{out}");
+    manic_bench::save_result("table3_overview", &out);
+}

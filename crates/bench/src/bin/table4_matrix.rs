@@ -1,0 +1,8 @@
+//! Regenerate Table 4 (AP x T&CP % congested day-links matrix).
+fn main() {
+    let mut sys = manic_bench::us_system();
+    let (study, _) = manic_bench::run_us_study(&mut sys);
+    let out = manic_bench::experiments::longitudinal::run_table4(&study, &sys.world);
+    println!("{out}");
+    manic_bench::save_result("table4_matrix", &out);
+}

@@ -1,0 +1,156 @@
+//! Figure 3: TSLP latency and loss time series for a congested
+//! Verizon–Google link, December 7–9 2017, with inferred congestion shading.
+
+use crate::{at, SEED};
+use manic_analysis::study::{congestion_windows, is_congested_at};
+use manic_core::{run_longitudinal, LinkDays, LongitudinalConfig, System, SystemConfig};
+use manic_netsim::time::format_sim;
+use manic_probing::loss::{LossTarget, WINDOW_SECS};
+use manic_probing::tslp::{series_key, End, ROUND_SECS};
+use manic_scenario::worlds::{us_asns, us_broadband};
+use manic_tsdb::Aggregate;
+use std::fmt::Write as _;
+
+/// Analysis window feeding the autocorrelation classifier (>= 50 days and
+/// covering the December days we plot).
+fn analysis_window() -> (i64, i64) {
+    (at(2017, 10, 20), at(2018, 1, 1))
+}
+
+pub fn run() -> String {
+    let mut sys = System::new(us_broadband(SEED), SystemConfig::default());
+    let (from, to) = analysis_window();
+    let links = run_longitudinal(&mut sys, &LongitudinalConfig::new(from, to));
+
+    // The most congested Verizon-Google link in December 2017.
+    let dec = manic_netsim::time::day_index(at(2017, 12, 1));
+    let link: &LinkDays = links
+        .iter()
+        .filter(|l| l.host_as == us_asns::VERIZON && l.neighbor_as == us_asns::GOOGLE)
+        .max_by_key(|l| {
+            l.day_masks
+                .range(dec..)
+                .map(|(_, m)| m.count_ones())
+                .sum::<u32>()
+        })
+        .expect("a Verizon-Google link exists");
+    let vp_name = link.vps[0].clone();
+    let vi = sys.vp_index(&vp_name);
+
+    // --- Packet-mode TSLP + loss over Dec 7-9 ---
+    let plot_from = at(2017, 12, 7);
+    let plot_to = at(2017, 12, 10);
+    {
+        let world = &sys.world;
+        let vp = &mut sys.vps[vi];
+        let task = vp
+            .tslp
+            .tasks
+            .iter()
+            .find(|t| t.far_ip == link.far_ip)
+            .expect("TSLP task for the link")
+            .clone();
+        let dest = task.dests[0];
+        vp.loss.set_targets(vec![LossTarget {
+            near_ip: task.near_ip,
+            far_ip: task.far_ip,
+            dst: dest.dst,
+            near_ttl: dest.near_ttl,
+            far_ttl: dest.far_ttl,
+            flow_id: task.flow_id,
+        }]);
+        let mut t = plot_from;
+        while t < plot_to {
+            vp.tslp.probe_round(&world.net, &mut vp.sim, t, &sys.store);
+            t += ROUND_SECS;
+        }
+        let mut w = plot_from;
+        while w < plot_to {
+            vp.loss.probe_window(&world.net, &mut vp.sim, w, &sys.store);
+            w += WINDOW_SECS;
+        }
+    }
+
+    // --- Render ---
+    let vp = &sys.vps[vi];
+    let task = vp.tslp.tasks.iter().find(|t| t.far_ip == link.far_ip).unwrap();
+    let k_far = series_key(&vp.handle.name, task, End::Far);
+    let k_near = series_key(&vp.handle.name, task, End::Near);
+    let loss_tgt = &vp.loss.targets[0];
+    let k_loss_far = manic_probing::loss::series_key(&vp.handle.name, loss_tgt, End::Far);
+    let k_loss_near = manic_probing::loss::series_key(&vp.handle.name, loss_tgt, End::Near);
+
+    let shade = congestion_windows(link, plot_from, plot_to);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3 — TSLP latency (top) and loss (bottom) for the {} <-> {} link\n({} .. {}), VP {}, link far IP {}.\nInferred congestion windows are marked '#'.\n",
+        "verizon",
+        "google",
+        format_sim(plot_from),
+        format_sim(plot_to),
+        vp.handle.name,
+        link.far_ip
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>9} {:>9} {:>9} {:>9}  cong",
+        "UTC time", "near ms", "far ms", "near loss", "far loss"
+    );
+    // Print one row per 30 minutes; collect congested/uncongested stats over
+    // the full 5-minute resolution.
+    let mut far_c = Vec::new();
+    let mut far_u = Vec::new();
+    let mut loss_c = Vec::new();
+    let mut loss_u = Vec::new();
+    let mut t = plot_from;
+    while t < plot_to {
+        let far = sys.store.downsample(&k_far, t, t + 1800, 1800, Aggregate::Min);
+        let near = sys.store.downsample(&k_near, t, t + 1800, 1800, Aggregate::Min);
+        let lf = sys.store.downsample(&k_loss_far, t, t + 1800, 1800, Aggregate::Mean);
+        let ln_ = sys.store.downsample(&k_loss_near, t, t + 1800, 1800, Aggregate::Mean);
+        let congested = is_congested_at(link, t);
+        let fmt = |v: Option<f64>, pct: bool| match v {
+            Some(x) if pct => format!("{:.2}%", 100.0 * x),
+            Some(x) => format!("{x:.2}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9} {:>9} {:>9} {:>9}  {}",
+            format_sim(t),
+            fmt(near.first().map(|p| p.v), false),
+            fmt(far.first().map(|p| p.v), false),
+            fmt(ln_.first().map(|p| p.v), true),
+            fmt(lf.first().map(|p| p.v), true),
+            if congested { "#" } else { "" }
+        );
+        // Fine-grained stats.
+        for p in sys.store.downsample(&k_far, t, t + 1800, 300, Aggregate::Min) {
+            if is_congested_at(link, p.t) {
+                far_c.push(p.v);
+            } else {
+                far_u.push(p.v);
+            }
+        }
+        for p in sys.store.query(&k_loss_far, t, t + 1800) {
+            if is_congested_at(link, p.t) {
+                loss_c.push(p.v);
+            } else {
+                loss_u.push(p.v);
+            }
+        }
+        t += 1800;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "\nSummary: far RTT mean {:.1} ms congested vs {:.1} ms uncongested;\nfar loss mean {:.2}% congested vs {:.2}% uncongested; {} inferred windows.",
+        mean(&far_c),
+        mean(&far_u),
+        100.0 * mean(&loss_c),
+        100.0 * mean(&loss_u),
+        shade.len()
+    );
+    out
+}

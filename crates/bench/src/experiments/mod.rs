@@ -1,0 +1,9 @@
+//! Experiment regenerators, one per paper table/figure (see DESIGN.md's
+//! experiment index and EXPERIMENTS.md for paper-vs-measured records).
+
+pub mod fig3;
+pub mod longitudinal;
+pub mod ndt;
+pub mod operator;
+pub mod table1;
+pub mod youtube;

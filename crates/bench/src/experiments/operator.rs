@@ -1,0 +1,146 @@
+//! §5.4: operator validation against withheld ground truth.
+//!
+//! The simulator plays the operator: its per-link utilization (which the
+//! inference pipeline never reads) is compared with the autocorrelation
+//! classifications.
+//!
+//! * Operator 1 (AT&T-style): seven links to three transit providers and
+//!   one content provider; inferences from one October 2017 week (plus a
+//!   dissipated-by-October link checked in May 2017).
+//! * Operator 2 (Comcast-style): twenty links to two transit and two
+//!   content providers across 2017 — ten classified congested, ten
+//!   uncongested — audited against utilization.
+
+use crate::{at, SEED};
+use manic_core::{run_longitudinal, LinkDays, LongitudinalConfig, System, SystemConfig};
+use manic_inference::DayEstimate;
+use manic_netsim::time::day_index;
+use manic_netsim::topo::Direction;
+use manic_scenario::worlds::{us_asns, us_broadband};
+use manic_valid::operator::{audit, AuditOutcome};
+use std::fmt::Write as _;
+
+/// Day estimates of a merged record over a window, for the audit API.
+fn estimates(link: &LinkDays, from: i64, to: i64) -> Vec<DayEstimate> {
+    (from..to)
+        .map(|d| {
+            let iv = link
+                .day_masks
+                .get(&d)
+                .map(|m| m.count_ones() as usize)
+                .unwrap_or(0);
+            DayEstimate { day: (d - from) as usize, congested_intervals: iv, congestion_pct: iv as f64 / 96.0 }
+        })
+        .collect()
+}
+
+/// The simulated link + congested direction behind a merged record.
+fn gt_of<'w>(
+    world: &'w manic_scenario::World,
+    link: &LinkDays,
+) -> Option<(manic_netsim::LinkId, Direction)> {
+    let gt = world
+        .gt_links
+        .iter()
+        .find(|g| {
+            (g.a_ext == link.far_ip || g.b_ext == link.far_ip)
+                && (g.a_int == link.near_ip || g.b_int == link.near_ip)
+        })?;
+    Some((gt.link, gt.dir_toward(link.host_as)))
+}
+
+pub fn run() -> String {
+    let mut sys = System::new(us_broadband(SEED), SystemConfig::default());
+    let links = run_longitudinal(
+        &mut sys,
+        &LongitudinalConfig::new(at(2016, 11, 1), at(2018, 1, 1)),
+    );
+    let world = &sys.world;
+    let mut out = String::from("Section 5.4 — operator validation against link utilization.\n\n");
+
+    // ---- Operator 1: AT&T, 7 links to Tata/XO/Telia + Google ----
+    let op1_tcps = [us_asns::TATA, us_asns::XO, us_asns::TELIA, us_asns::GOOGLE];
+    let mut op1: Vec<(String, manic_netsim::LinkId, Direction, Vec<DayEstimate>)> = Vec::new();
+    let (oct_from, oct_to) = (at(2017, 10, 1), at(2017, 11, 1));
+    for link in links.iter().filter(|l| l.host_as == us_asns::ATT) {
+        if !op1_tcps.contains(&link.neighbor_as) || op1.len() >= 7 {
+            continue;
+        }
+        let Some((lid, dir)) = gt_of(world, link) else { continue };
+        let label = format!("att->{} ({})", world.graph.info(link.neighbor_as).name, link.far_ip);
+        op1.push((label, lid, dir, estimates(link, day_index(oct_from), day_index(oct_to))));
+    }
+    let rep1 = audit(&world.net, &op1, oct_from, oct_to, 3);
+    let _ = writeln!(out, "Operator 1 (AT&T-style), {} links, October 2017:", rep1.outcomes.len());
+    for (label, o) in &rep1.outcomes {
+        let verdict = match o {
+            AuditOutcome::TruePositive => "congested, operator confirms",
+            AuditOutcome::TrueNegative => "uncongested, operator confirms",
+            AuditOutcome::FalsePositive => "congested, operator DENIES",
+            AuditOutcome::FalseNegative => "uncongested, operator shows congestion",
+        };
+        let _ = writeln!(out, "  {label:<36} {verdict}");
+    }
+    let _ = writeln!(
+        out,
+        "  => {} of {} inferences confirmed.\n",
+        rep1.count(AuditOutcome::TruePositive) + rep1.count(AuditOutcome::TrueNegative),
+        rep1.outcomes.len()
+    );
+
+    // ---- Operator 2: Comcast, 10 congested + 10 uncongested links, 2017 ----
+    let (y_from, y_to) = (at(2017, 1, 1), at(2018, 1, 1));
+    let (d_from, d_to) = (day_index(y_from), day_index(y_to));
+    let op2_tcps = [us_asns::TATA, us_asns::NTT, us_asns::XO, us_asns::GOOGLE, us_asns::NETFLIX, us_asns::VODAFONE, us_asns::TELIA];
+    let mut congested_links: Vec<&LinkDays> = Vec::new();
+    let mut clean_links: Vec<&LinkDays> = Vec::new();
+    for link in links.iter().filter(|l| l.host_as == us_asns::COMCAST) {
+        if !op2_tcps.contains(&link.neighbor_as) && !clean_links.is_empty() {
+            // Fill the uncongested half from any Comcast neighbor.
+        }
+        let cong_days = link
+            .observed
+            .range(d_from..d_to)
+            .filter(|&&d| link.day_pct(d) >= 0.04)
+            .count();
+        if cong_days >= 5 && congested_links.len() < 10 && op2_tcps.contains(&link.neighbor_as) {
+            congested_links.push(link);
+        } else if cong_days == 0 && clean_links.len() < 10 && link.observed_days() > 100 {
+            clean_links.push(link);
+        }
+    }
+    let mut op2 = Vec::new();
+    for link in congested_links.iter().chain(&clean_links) {
+        let Some((lid, dir)) = gt_of(world, link) else { continue };
+        let label = format!(
+            "comcast->{} ({})",
+            world.graph.info(link.neighbor_as).name,
+            link.far_ip
+        );
+        op2.push((label, lid, dir, estimates(link, d_from, d_to)));
+    }
+    let rep2 = audit(&world.net, &op2, y_from, y_to, 5);
+    let _ = writeln!(
+        out,
+        "Operator 2 (Comcast-style), {} links audited across 2017:",
+        rep2.outcomes.len()
+    );
+    let _ = writeln!(
+        out,
+        "  true positives:  {:>2}  (inferred congested, utilization reached 100%)",
+        rep2.count(AuditOutcome::TruePositive)
+    );
+    let _ = writeln!(
+        out,
+        "  true negatives:  {:>2}  (inferred clean, utilization stayed clear)",
+        rep2.count(AuditOutcome::TrueNegative)
+    );
+    let _ = writeln!(out, "  false positives: {:>2}", rep2.count(AuditOutcome::FalsePositive));
+    let _ = writeln!(out, "  false negatives: {:>2}", rep2.count(AuditOutcome::FalseNegative));
+    let _ = writeln!(
+        out,
+        "  => all consistent: {}\n\nPaper: operator 1 confirmed 7/7; operator 2's utilization was consistent\nwith all 20 inferences (10 TP + 10 TN).",
+        rep2.all_consistent()
+    );
+    out
+}

@@ -1,0 +1,146 @@
+//! Table 1: loss-rate validation of congestion inferences (§5.1).
+//!
+//! For every month-link (one month of data for one interdomain link from one
+//! VP, March–December 2017) that was significantly congested, the reactive
+//! loss prober's per-window loss rates are split into congested/uncongested
+//! periods by the autocorrelation classification and scored against the
+//! far-end and localization binomial tests.
+
+use crate::{at, SEED};
+use manic_analysis::study::is_congested_at;
+use manic_bdrmap::infer::LinkRel;
+use manic_core::{run_longitudinal, LongitudinalConfig, System, SystemConfig};
+use manic_netsim::time::month_start;
+use manic_probing::loss::{LossProber, LossTarget};
+use manic_probing::tslp::End;
+use manic_probing::VpHandle;
+use manic_scenario::worlds::us_broadband;
+use manic_valid::lossval::{classify_month_links, LossValInput};
+use std::fmt::Write as _;
+
+pub fn run() -> String {
+    let mut sys = System::new(us_broadband(SEED), SystemConfig::default());
+    // Classification over March - December 2017 (months 14..24), with enough
+    // leading context for the 50-day windows.
+    let links = run_longitudinal(
+        &mut sys,
+        &LongitudinalConfig::new(at(2017, 1, 1), at(2018, 1, 1)),
+    );
+
+    let mut inputs: Vec<LossValInput> = Vec::new();
+    let mut skipped_no_task = 0usize;
+    for link in &links {
+        // §3.3 restriction: peers and providers only.
+        if !matches!(link.rel, LinkRel::Peer | LinkRel::Provider) {
+            continue;
+        }
+        // Use the first observing VP (the paper's loss collection ran from a
+        // VP subset too).
+        let vp_name = &link.vps[0];
+        let vi = sys.vp_index(vp_name);
+        let vp = &sys.vps[vi];
+        let Some(task) = vp.tslp.tasks.iter().find(|t| t.far_ip == link.far_ip) else {
+            skipped_no_task += 1;
+            continue;
+        };
+        let dest = task.dests[0];
+        let target = LossTarget {
+            near_ip: task.near_ip,
+            far_ip: task.far_ip,
+            dst: dest.dst,
+            near_ttl: dest.near_ttl,
+            far_ttl: dest.far_ttl,
+            flow_id: task.flow_id,
+        };
+        let handle = VpHandle {
+            name: vp.handle.name.clone(),
+            router: vp.handle.router,
+            addr: vp.handle.addr,
+        };
+        for month in 14u32..24 {
+            let m_from = month_start(month);
+            let m_to = month_start(month + 1);
+            let from_day = manic_netsim::time::day_index(m_from);
+            let to_day = manic_netsim::time::day_index(m_to);
+            let congested_days = link
+                .observed
+                .range(from_day..to_day)
+                .filter(|&&d| link.day_pct(d) >= 0.04)
+                .count();
+            if congested_days == 0 {
+                continue;
+            }
+            // Synthesize the month of loss probing for this link.
+            let mut prober = LossProber::new(handle.clone(), m_from);
+            prober.set_targets(vec![target.clone()]);
+            let windows = prober.synthesize_window(&sys.world.net, m_from, m_to);
+            let mut far_c = (0u64, 0u64);
+            let mut far_u = (0u64, 0u64);
+            let mut near_c = (0u64, 0u64);
+            let mut near_u = (0u64, 0u64);
+            for (_, samples) in windows {
+                for s in samples {
+                    let congested = is_congested_at(link, s.window_start + 150);
+                    let slot = match (s.end, congested) {
+                        (End::Far, true) => &mut far_c,
+                        (End::Far, false) => &mut far_u,
+                        (End::Near, true) => &mut near_c,
+                        (End::Near, false) => &mut near_u,
+                    };
+                    slot.0 += s.lost as u64;
+                    slot.1 += s.sent as u64;
+                }
+            }
+            inputs.push(LossValInput {
+                vp: vp_name.clone(),
+                link_label: link.far_ip.to_string(),
+                month,
+                significantly_congested: true,
+                far_congested: far_c,
+                far_uncongested: far_u,
+                near_congested: near_c,
+                near_uncongested: near_u,
+            });
+        }
+    }
+
+    let table = classify_month_links(&inputs, 0.05);
+    let mut out = String::from(
+        "Table 1 — correlation between congestion inferences and loss\nmeasurements, month-links March-December 2017.\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<26} {:>8} {:>8}",
+        "Far-End Higher During", "Far-End Higher than", "# Month-", "% Month-"
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<26} {:>8} {:>8}",
+        "Congestion", "Near-End", "Links", "Links"
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<26} {:>8} {:>8.0}%",
+        "True", "True", table.both, table.pct_both()
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<26} {:>8} {:>8.0}%",
+        "True", "False", table.far_only, table.pct_far_only()
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:<26} {:>8} {:>8.0}%",
+        "False", "-", table.contradicting, table.pct_contradicting()
+    );
+    let _ = writeln!(
+        out,
+        "\n{} candidate month-links ({} skipped for missing probing state);\n{} with a statistically significant far-end difference entered the tests;\n{} of the passing month-links show suspicious always-high far loss\n(ICMP rate limiting artifact, retained as in the paper).",
+        table.candidates, skipped_no_task, table.significant, table.suspicious_high_loss
+    );
+    let _ = writeln!(
+        out,
+        "\nPaper's split over 145 significant month-links: 81% / 8% / 11%."
+    );
+    out
+}

@@ -1,0 +1,113 @@
+//! Shared harness for the experiment binaries (one per paper table/figure).
+//!
+//! Every binary follows the same pattern: build the US-broadband world (or
+//! the focused sub-scenario an experiment needs), run the measurement
+//! pipeline, compute the paper artifact, print it in the paper's shape, and
+//! write a copy under `results/`. `EXPERIMENTS.md` records the paper-vs-
+//! measured comparison for each.
+
+use manic_analysis::Study;
+use manic_core::{run_longitudinal_detailed, LongitudinalConfig, LongitudinalOutput, System, SystemConfig};
+use manic_netsim::time::{date_to_sim, month_start, Date, SimTime};
+use manic_scenario::worlds::{self, us_broadband};
+use manic_scenario::World;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Deterministic seed for every headline experiment.
+pub const SEED: u64 = 0x5167_C044;
+
+/// The §6 study window: March 2016 .. end of December 2017.
+pub fn study_window() -> (SimTime, SimTime) {
+    (
+        month_start(worlds::STUDY_START_MONTH),
+        month_start(worlds::STUDY_END_MONTH),
+    )
+}
+
+/// Convenience date constructor.
+pub fn at(y: i32, m: u8, d: u8) -> SimTime {
+    date_to_sim(Date::new(y, m, d))
+}
+
+/// Build the US-broadband measurement system.
+pub fn us_system() -> System {
+    System::new(us_broadband(SEED), SystemConfig::default())
+}
+
+/// Run the full longitudinal pipeline over the §6 window and wrap it in a
+/// `Study`. This is the shared engine behind Tables 3-4 and Figures 7-9.
+pub fn run_us_study(system: &mut System) -> (Study, LongitudinalOutput) {
+    let (from, to) = study_window();
+    let cfg = LongitudinalConfig::new(from, to);
+    let out = run_longitudinal_detailed(system, &cfg);
+    (Study::new(out.merged.clone(), from, to), out)
+}
+
+/// Display names of the eight US access ISPs, Table 3 row order.
+pub fn ap_rows() -> Vec<(manic_netsim::AsNumber, &'static str)> {
+    use manic_scenario::worlds::us_asns::*;
+    vec![
+        (CENTURYLINK, "CenturyLink"),
+        (ATT, "AT&T"),
+        (COX, "Cox"),
+        (COMCAST, "Comcast"),
+        (CHARTER, "Charter"),
+        (TWC, "TWC"),
+        (VERIZON, "Verizon"),
+        (RCN, "RCN"),
+    ]
+}
+
+/// Table 4 column order (as printed in the paper).
+pub fn ap_cols() -> Vec<(manic_netsim::AsNumber, &'static str)> {
+    use manic_scenario::worlds::us_asns::*;
+    vec![
+        (COMCAST, "Comcast"),
+        (VERIZON, "Verizon"),
+        (CENTURYLINK, "CenturyLink"),
+        (ATT, "AT&T"),
+        (COX, "Cox"),
+        (TWC, "TWC"),
+        (CHARTER, "Charter"),
+        (RCN, "RCN"),
+    ]
+}
+
+/// Table 4 row T&CPs.
+pub fn tcp_rows() -> Vec<(manic_netsim::AsNumber, &'static str)> {
+    use manic_scenario::worlds::us_asns::*;
+    vec![
+        (GOOGLE, "Google"),
+        (TATA, "Tata"),
+        (NTT, "NTT"),
+        (XO, "XO"),
+        (NETFLIX, "Netflix"),
+        (LEVEL3, "Level3"),
+        (VODAFONE, "Vodafone"),
+        (TELIA, "Telia"),
+        (ZAYO, "Zayo"),
+    ]
+}
+
+/// Name of an AS in a world.
+pub fn as_name(world: &World, asn: manic_netsim::AsNumber) -> String {
+    world.graph.info(asn).name.clone()
+}
+
+/// Write an experiment's text output under `results/` (and echo the path).
+pub fn save_result(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = if name.contains('.') {
+        dir.join(name)
+    } else {
+        dir.join(format!("{name}.txt"))
+    };
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    f.write_all(contents.as_bytes()).expect("write result");
+    eprintln!("[saved {}]", path.display());
+    path
+}
+
+pub mod experiments;

@@ -1,0 +1,332 @@
+//! `manic` — command-line interface to the measurement system.
+//!
+//! ```text
+//! manic world [--world toy|us] [--seed N]              # topology summary
+//! manic links --vp <name> [--world ..] [--seed N]      # run bdrmap, list links
+//! manic watch --vp <name> --days D [--world ..]        # live dashboard after D days
+//! manic study --days D [--world ..] [--seed N]         # longitudinal day-link report
+//! manic export --vp <name> --hours H [--format json|csv]  # raw TSLP series dump
+//! manic inspect [--days D] [--world ..]                # evidence dossiers (sec. 4.2)
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace carries no CLI
+//! dependency); every command is deterministic given `--seed`.
+
+use manic_core::{run_longitudinal, LongitudinalConfig, System, SystemConfig};
+use manic_netsim::time::{date_to_sim, format_sim, Date, SECS_PER_DAY};
+use manic_scenario::worlds::{toy, us_broadband};
+use manic_scenario::World;
+use manic_tsdb::TagSet;
+use std::process::ExitCode;
+
+/// Default simulated start for CLI runs (inside the study window).
+fn t0() -> i64 {
+    date_to_sim(Date::new(2017, 3, 1))
+}
+
+struct Args {
+    world: String,
+    seed: u64,
+    vp: Option<String>,
+    days: i64,
+    hours: i64,
+    format: String,
+}
+
+impl Args {
+    fn parse(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), String> {
+        let cmd = argv.next().ok_or("missing command")?;
+        let mut args = Args {
+            world: "toy".into(),
+            seed: 42,
+            vp: None,
+            days: 60,
+            hours: 24,
+            format: "csv".into(),
+        };
+        while let Some(flag) = argv.next() {
+            let mut val = || argv.next().ok_or(format!("{flag} needs a value"));
+            match flag.as_str() {
+                "--world" => args.world = val()?,
+                "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--vp" => args.vp = Some(val()?),
+                "--days" => args.days = val()?.parse().map_err(|e| format!("--days: {e}"))?,
+                "--hours" => args.hours = val()?.parse().map_err(|e| format!("--hours: {e}"))?,
+                "--format" => args.format = val()?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok((cmd, args))
+    }
+
+    fn build_world(&self) -> Result<World, String> {
+        match self.world.as_str() {
+            "toy" => Ok(toy(self.seed)),
+            "us" => Ok(us_broadband(self.seed)),
+            other => Err(format!("unknown world '{other}' (toy|us)")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    let _bin = argv.next();
+    match Args::parse(argv) {
+        Ok((cmd, args)) => match run(&cmd, args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("usage: manic <world|links|watch|study|export> [flags]");
+            eprintln!("  manic world  [--world toy|us] [--seed N]");
+            eprintln!("  manic links  --vp <name> [--world ..] [--seed N]");
+            eprintln!("  manic watch  --vp <name> [--hours H] [--world ..]");
+            eprintln!("  manic study  [--days D] [--world ..] [--seed N]");
+            eprintln!("  manic export --vp <name> [--hours H] [--format json|csv]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, args: Args) -> Result<(), String> {
+    match cmd {
+        "world" => cmd_world(args),
+        "links" => cmd_links(args),
+        "watch" => cmd_watch(args),
+        "study" => cmd_study(args),
+        "export" => cmd_export(args),
+        "inspect" => cmd_inspect(args),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn cmd_world(args: Args) -> Result<(), String> {
+    let w = args.build_world()?;
+    println!("world '{}' (seed {}):", args.world, args.seed);
+    println!("  ASes:              {}", w.graph.len());
+    println!("  routers:           {}", w.net.topo.routers.len());
+    println!("  links:             {}", w.net.topo.links.len());
+    println!("  interdomain links: {}", w.gt_links.len());
+    println!("  vantage points:    {}", w.vps.len());
+    for vp in &w.vps {
+        println!("    {} ({} at {})", vp.name, w.graph.info(vp.asn).name, vp.pop);
+    }
+    Ok(())
+}
+
+fn vp_index(sys: &System, args: &Args) -> Result<usize, String> {
+    let name = args.vp.as_deref().ok_or("--vp required")?;
+    sys.vps
+        .iter()
+        .position(|v| v.handle.name == name)
+        .ok_or_else(|| format!("unknown VP '{name}' (try `manic world`)"))
+}
+
+fn cmd_links(args: Args) -> Result<(), String> {
+    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let vi = vp_index(&sys, &args)?;
+    let n = sys.run_bdrmap_cycle(vi, t0());
+    let vp = &sys.vps[vi];
+    println!("{}: {} interdomain links under probing", vp.handle.name, n);
+    println!("{:<16} {:<16} {:<12} {:<9} {:>5} {:>6}", "near", "far", "neighbor", "rel", "ixp", "dests");
+    let bdr = vp.bdrmap.as_ref().expect("cycle ran");
+    for task in &vp.tslp.tasks {
+        let meta = bdr
+            .links
+            .iter()
+            .find(|l| l.near_ip == task.near_ip && l.far_ip == task.far_ip);
+        let (neigh, rel, ixp) = meta
+            .map(|l| {
+                (
+                    sys.world.graph.info(l.far_as).name.clone(),
+                    format!("{:?}", l.rel),
+                    l.via_ixp,
+                )
+            })
+            .unwrap_or_else(|| ("?".into(), "?".into(), false));
+        println!(
+            "{:<16} {:<16} {:<12} {:<9} {:>5} {:>6}",
+            task.near_ip.to_string(),
+            task.far_ip.to_string(),
+            neigh,
+            rel,
+            if ixp { "yes" } else { "" },
+            task.dests.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: Args) -> Result<(), String> {
+    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let vi = vp_index(&sys, &args)?;
+    let from = t0();
+    let to = from + args.hours * 3600;
+    sys.run_packet_mode(from, to);
+    println!(
+        "dashboard for {} at {} (lookback {}h):",
+        sys.vps[vi].handle.name,
+        format_sim(to),
+        args.hours
+    );
+    println!(
+        "{:<16} {:<12} {:>10} {:>10} {:>10}  state",
+        "link (far)", "neighbor", "near ms", "far ms", "baseline"
+    );
+    for row in sys.snapshot(vi, to, args.hours * 3600) {
+        let neigh = row
+            .neighbor
+            .map(|a| sys.world.graph.info(a).name.clone())
+            .unwrap_or_else(|| "?".into());
+        let f = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
+        println!(
+            "{:<16} {:<12} {:>10} {:>10} {:>10}  {}",
+            row.far_ip.to_string(),
+            neigh,
+            f(row.near_latest_ms),
+            f(row.far_latest_ms),
+            f(row.far_baseline_ms),
+            if row.elevated { "ELEVATED" } else { "ok" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_study(args: Args) -> Result<(), String> {
+    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let from = t0();
+    let to = from + args.days * SECS_PER_DAY;
+    let links = run_longitudinal(&mut sys, &LongitudinalConfig::new(from, to));
+    println!(
+        "longitudinal study {} .. {} ({} links):",
+        format_sim(from),
+        format_sim(to),
+        links.len()
+    );
+    println!(
+        "{:<12} {:<12} {:<16} {:>9} {:>10} {:>9}",
+        "host", "neighbor", "far", "observed", "congested", "mean-day%"
+    );
+    for l in &links {
+        let cong = l.congested_days(0.04);
+        let mean = if l.day_masks.is_empty() {
+            0.0
+        } else {
+            100.0 * l.day_masks.keys().map(|&d| l.day_pct(d)).sum::<f64>()
+                / l.day_masks.len() as f64
+        };
+        println!(
+            "{:<12} {:<12} {:<16} {:>9} {:>10} {:>8.1}%",
+            sys.world.graph.info(l.host_as).name,
+            sys.world.graph.info(l.neighbor_as).name,
+            l.far_ip.to_string(),
+            l.observed_days(),
+            cong,
+            mean
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    fn parse(args: &[&str]) -> Result<(String, Args), String> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let (cmd, a) = parse(&["study", "--days", "30", "--world", "us", "--seed", "7"]).unwrap();
+        assert_eq!(cmd, "study");
+        assert_eq!(a.days, 30);
+        assert_eq!(a.world, "us");
+        assert_eq!(a.seed, 7);
+        let (_, d) = parse(&["world"]).unwrap();
+        assert_eq!(d.world, "toy");
+        assert_eq!(d.seed, 42);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["links", "--seed"]).is_err());
+        assert!(parse(&["links", "--bogus", "1"]).is_err());
+        assert!(parse(&["links", "--days", "notanumber"]).is_err());
+    }
+
+    #[test]
+    fn unknown_world_rejected_at_build() {
+        let (_, a) = parse(&["world", "--world", "mars"]).unwrap();
+        assert!(a.build_world().is_err());
+    }
+}
+
+/// §4.2's manual-inspection workflow: render an evidence dossier for every
+/// link the pipeline asserts as congested.
+fn cmd_inspect(args: Args) -> Result<(), String> {
+    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let from = t0();
+    let to = from + args.days * SECS_PER_DAY;
+    let links = run_longitudinal(&mut sys, &LongitudinalConfig::new(from, to));
+    let mut asserted = 0;
+    for link in &links {
+        if link.congested_days(0.04) == 0 {
+            continue;
+        }
+        asserted += 1;
+        // Excerpt: the worst day's series from the first observing VP.
+        let (near, far, series_from) = (|| {
+            let vi = sys.vps.iter().position(|v| v.handle.name == link.vps[0])?;
+            let vp = &sys.vps[vi];
+            let task = vp.tslp.tasks.iter().find(|t| t.far_ip == link.far_ip)?;
+            let (&day, _) = link.day_masks.iter().max_by_key(|(_, m)| m.count_ones())?;
+            let day_t = manic_netsim::time::day_start(day);
+            let s = manic_probing::tslp::synthesize_task(
+                &sys.world.net,
+                &vp.handle,
+                task,
+                day_t,
+                day_t + SECS_PER_DAY,
+                900,
+            );
+            Some((s.near, s.far, day_t))
+        })()
+        .unwrap_or((vec![], vec![], from));
+        let neighbor = sys.world.graph.info(link.neighbor_as).name.clone();
+        println!(
+            "{}",
+            manic_analysis::evidence_report(link, &neighbor, series_from, &near, &far)
+        );
+    }
+    println!("{asserted} asserted links inspected.");
+    Ok(())
+}
+
+fn cmd_export(args: Args) -> Result<(), String> {
+    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let vi = vp_index(&sys, &args)?;
+    let from = t0();
+    let to = from + args.hours * 3600;
+    sys.run_packet_mode(from, to);
+    let vp_name = sys.vps[vi].handle.name.clone();
+    let filter = TagSet::from_pairs([("vp", vp_name.as_str())]);
+    match args.format.as_str() {
+        "json" => println!("{}", sys.store.export_json("tslp", &filter, from, to)),
+        "csv" => {
+            println!("series,t,v");
+            for key in sys.store.find_series("tslp", &filter) {
+                for p in sys.store.query(&key, from, to) {
+                    println!("{key},{},{}", p.t, p.v);
+                }
+            }
+        }
+        other => return Err(format!("unknown format '{other}' (json|csv)")),
+    }
+    Ok(())
+}

@@ -1,0 +1,463 @@
+//! System orchestration: VPs, probing state, measurement scheduling.
+
+use manic_bdrmap::{infer, BdrmapResult};
+use manic_inference::{detect_level_shifts, LevelShiftConfig};
+use manic_netsim::time::{SimTime, SECS_PER_DAY};
+use manic_netsim::{Ipv4, SimState};
+use manic_probing::loss::LossTarget;
+use manic_probing::tslp::{select_targets, series_key, End, TslpProber, ROUND_SECS};
+use manic_probing::{ally_test, trace, LossProber, Traceroute, VpHandle};
+use manic_scenario::World;
+use manic_tsdb::{Aggregate, Store};
+
+/// System-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Days between bdrmap cycles (the paper: a full cycle takes 1-3 days).
+    pub bdrmap_cycle_days: i64,
+    /// Traceroute attempts per hop.
+    pub trace_attempts: u32,
+    /// Level-shift configuration for reactive loss triggering (§3.3).
+    pub levelshift: LevelShiftConfig,
+    /// Maximum links under concurrent loss probing (budget bound).
+    pub max_loss_targets: usize,
+    /// Reactive probing-set updates (§3.2's future work, implemented): when
+    /// a task's far end stops answering from the expected interface for
+    /// this many consecutive rounds, re-run the VP's bdrmap cycle
+    /// immediately instead of waiting for the scheduled one. Zero disables.
+    pub reactive_mismatch_rounds: u32,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            bdrmap_cycle_days: 2,
+            trace_attempts: 2,
+            levelshift: LevelShiftConfig::default(),
+            max_loss_targets: 30,
+            reactive_mismatch_rounds: 3,
+        }
+    }
+}
+
+/// Per-VP runtime state.
+pub struct VpRuntime {
+    pub handle: VpHandle,
+    pub asn: manic_netsim::AsNumber,
+    pub tslp: TslpProber,
+    pub loss: LossProber,
+    /// Simulation state (rate limiter buckets etc.) for this VP's probes.
+    pub sim: SimState,
+    /// Latest border-mapping result.
+    pub bdrmap: Option<BdrmapResult>,
+    /// When the probing set was last refreshed.
+    pub last_cycle: Option<SimTime>,
+    /// Consecutive rounds each task spent without a valid far-end response,
+    /// keyed by (near, far) — drives reactive probing-set updates.
+    pub stale_rounds: std::collections::HashMap<(Ipv4, Ipv4), u32>,
+    /// Whether the VP is currently hosted. §3: "Due to the volunteer-based
+    /// nature of Ark VP hosting, there is churn in the set of usable VPs"
+    /// (86 over the study, 63 by December 2017). Retired VPs stop probing;
+    /// their historical data stays in the store.
+    pub active: bool,
+}
+
+/// One dashboard row: the current state of one probed interdomain link.
+#[derive(Debug, Clone)]
+pub struct LinkStatus {
+    pub vp: String,
+    pub near_ip: Ipv4,
+    pub far_ip: Ipv4,
+    pub neighbor: Option<manic_netsim::AsNumber>,
+    pub rel: manic_bdrmap::infer::LinkRel,
+    /// Most recent far-end min-RTT sample in the lookback window, ms.
+    pub far_latest_ms: Option<f64>,
+    /// Minimum far-end RTT over the lookback window (the baseline).
+    pub far_baseline_ms: Option<f64>,
+    pub near_latest_ms: Option<f64>,
+    /// Latest far-end sample exceeds baseline + 7 ms (the §4.2 elevation
+    /// criterion applied live).
+    pub elevated: bool,
+}
+
+/// The assembled measurement system.
+pub struct System {
+    pub world: World,
+    pub store: Store,
+    pub vps: Vec<VpRuntime>,
+    pub cfg: SystemConfig,
+}
+
+impl System {
+    /// Build a system over a compiled world, one runtime per VP.
+    pub fn new(world: World, cfg: SystemConfig) -> Self {
+        let vps = world
+            .vps
+            .iter()
+            .map(|vp| VpRuntime {
+                handle: VpHandle { name: vp.name.clone(), router: vp.router, addr: vp.addr },
+                asn: vp.asn,
+                tslp: TslpProber::new(
+                    VpHandle { name: vp.name.clone(), router: vp.router, addr: vp.addr },
+                    0,
+                ),
+                loss: LossProber::new(
+                    VpHandle { name: vp.name.clone(), router: vp.router, addr: vp.addr },
+                    0,
+                ),
+                sim: SimState::new(),
+                bdrmap: None,
+                last_cycle: None,
+                stale_rounds: std::collections::HashMap::new(),
+                active: true,
+            })
+            .collect();
+        System { world, store: Store::new(), vps, cfg }
+    }
+
+    /// Run one full bdrmap cycle for VP `vi` at time `t`: traceroute to every
+    /// routed prefix, alias resolution, border inference, probing-set update.
+    pub fn run_bdrmap_cycle(&mut self, vi: usize, t: SimTime) -> usize {
+        let world = &self.world;
+        let vp = &mut self.vps[vi];
+        // Traceroute to every routed prefix (two destinations each for flow
+        // diversity across parallel links).
+        // Traces are paced across the cycle (production bdrmap spreads a
+        // full cycle over 1-3 days at 100 pps), so token-bucket ICMP rate
+        // limiters recover between visits instead of blacking out whole
+        // swaths of the topology.
+        let mut traces: Vec<Traceroute> = Vec::new();
+        let mut when = t;
+        for (i, &(_, asn)) in world.artifacts.routed_prefixes().iter().enumerate() {
+            if asn == vp.asn {
+                continue;
+            }
+            for k in 0..2u32 {
+                let dst = world.host_addr(asn, k);
+                let flow = (i as u16).wrapping_mul(7).wrapping_add(k as u16);
+                traces.push(trace(
+                    &world.net,
+                    &mut vp.sim,
+                    &vp.handle,
+                    dst,
+                    flow,
+                    when,
+                    40,
+                    self.cfg.trace_attempts,
+                ));
+                when += 30;
+            }
+        }
+        // Border inference with a live Ally oracle.
+        let net = &world.net;
+        let handle = vp.handle.clone();
+        let mut alias_state = SimState::new();
+        // Ally probes are as lossy as any other probe; retry a few times
+        // (spaced out, like scamper) before reporting indeterminate.
+        let mut alias_at = t;
+        let mut oracle = |a: Ipv4, b: Ipv4| {
+            for _ in 0..3 {
+                alias_at += 5;
+                if let Some(v) = ally_test(net, &mut alias_state, &handle, a, b, alias_at) {
+                    return Some(v);
+                }
+            }
+            None
+        };
+        let result = infer(&traces, &world.artifacts, vp.asn, &mut oracle);
+
+        // TSLP probing-state update (§3.1): keep stable destinations.
+        let links: Vec<(Ipv4, Ipv4)> =
+            result.links.iter().map(|l| (l.near_ip, l.far_ip)).collect();
+        let artifacts = &world.artifacts;
+        let far_as_of = |far_ip: Ipv4| {
+            result
+                .links
+                .iter()
+                .find(|l| l.far_ip == far_ip)
+                .map(|l| l.far_as)
+        };
+        let tasks = select_targets(&traces, &links, |dst, far_ip| {
+            match (artifacts.origin(dst), far_as_of(far_ip)) {
+                (Some(o), Some(n)) => o == n,
+                _ => false,
+            }
+        });
+        vp.tslp.update_targets(tasks);
+        vp.bdrmap = Some(result);
+        vp.last_cycle = Some(t);
+        vp.stale_rounds.clear();
+        vp.tslp.tasks.len()
+    }
+
+    /// Fold one round's samples into the per-task staleness counters and
+    /// report whether any task has been dark long enough to warrant a
+    /// reactive bdrmap cycle.
+    fn note_round_health(
+        vp: &mut VpRuntime,
+        samples: &[(usize, manic_probing::tslp::TslpSample)],
+        threshold: u32,
+    ) -> bool {
+        use std::collections::HashMap;
+        let mut far_ok: HashMap<usize, bool> = HashMap::new();
+        for (ti, s) in samples {
+            if s.end == End::Far {
+                let e = far_ok.entry(*ti).or_insert(false);
+                *e |= s.rtt_ms.is_some();
+            }
+        }
+        let mut trigger = false;
+        for (ti, ok) in far_ok {
+            let Some(task) = vp.tslp.tasks.get(ti) else { continue };
+            let key = (task.near_ip, task.far_ip);
+            if ok {
+                vp.stale_rounds.remove(&key);
+            } else {
+                let c = vp.stale_rounds.entry(key).or_insert(0);
+                *c += 1;
+                if threshold > 0 && *c >= threshold {
+                    trigger = true;
+                }
+            }
+        }
+        trigger
+    }
+
+    /// Run packet-mode measurement from `from` to `to`: bdrmap cycles on
+    /// their cadence and a TSLP round every five minutes, all landing in the
+    /// tsdb. Returns the number of TSLP rounds executed.
+    pub fn run_packet_mode(&mut self, from: SimTime, to: SimTime) -> usize {
+        let cycle_secs = self.cfg.bdrmap_cycle_days * SECS_PER_DAY;
+        let mut rounds = 0;
+        let mut t = from;
+        while t < to {
+            for vi in 0..self.vps.len() {
+                if !self.vps[vi].active {
+                    continue;
+                }
+                let due = match self.vps[vi].last_cycle {
+                    None => true,
+                    Some(last) => t - last >= cycle_secs,
+                };
+                if due {
+                    self.run_bdrmap_cycle(vi, t);
+                }
+            }
+            for vp in self.vps.iter_mut().filter(|v| v.active) {
+                let samples = vp.tslp.probe_round(&self.world.net, &mut vp.sim, t, &self.store);
+                if Self::note_round_health(vp, &samples, self.cfg.reactive_mismatch_rounds) {
+                    // Reactive update (§3.2): refresh the probing set now.
+                    vp.last_cycle = None;
+                }
+            }
+            rounds += 1;
+            t += ROUND_SECS;
+        }
+        rounds
+    }
+
+    /// §3.3 reactive selection: pick links whose far-end TSLP series shows a
+    /// level shift within `[from, to)`, restricted to peers/providers (or
+    /// any link when the relationship is unknown to the static list), and
+    /// arm the loss prober with them.
+    pub fn arm_reactive_loss(&mut self, vi: usize, from: SimTime, to: SimTime) -> usize {
+        use manic_bdrmap::infer::LinkRel;
+        let vp = &mut self.vps[vi];
+        let mut targets = Vec::new();
+        let Some(bdr) = &vp.bdrmap else { return 0 };
+        for task in &vp.tslp.tasks {
+            let Some(link) = bdr
+                .links
+                .iter()
+                .find(|l| l.near_ip == task.near_ip && l.far_ip == task.far_ip)
+            else {
+                continue;
+            };
+            if link.rel == LinkRel::Customer {
+                continue; // §3.3: only peers and providers
+            }
+            let key = series_key(&vp.handle.name, task, End::Far);
+            let bins =
+                self.store
+                    .downsample_dense(&key, from, to, ROUND_SECS, Aggregate::Min);
+            let shifts = detect_level_shifts(&bins, &self.cfg.levelshift);
+            if shifts.is_empty() {
+                continue;
+            }
+            let Some(dest) = task.dests.first() else { continue };
+            targets.push(LossTarget {
+                near_ip: task.near_ip,
+                far_ip: task.far_ip,
+                dst: dest.dst,
+                near_ttl: dest.near_ttl,
+                far_ttl: dest.far_ttl,
+                flow_id: task.flow_id,
+            });
+            if targets.len() >= self.cfg.max_loss_targets {
+                break;
+            }
+        }
+        let n = targets.len();
+        vp.loss.set_targets(targets);
+        n
+    }
+
+    /// One row of the near-real-time link dashboard (the paper's Grafana
+    /// front-end view, contribution 4).
+    pub fn snapshot(&self, vi: usize, now: SimTime, lookback: SimTime) -> Vec<LinkStatus> {
+        use manic_bdrmap::infer::LinkRel;
+        let vp = &self.vps[vi];
+        let mut out = Vec::new();
+        for task in &vp.tslp.tasks {
+            let read = |end: End| {
+                let key = series_key(&vp.handle.name, task, end);
+                let pts = self.store.query(&key, now - lookback, now + 1);
+                let latest = pts.last().map(|p| p.v);
+                let baseline = pts
+                    .iter()
+                    .map(|p| p.v)
+                    .fold(f64::INFINITY, f64::min);
+                (latest, baseline.is_finite().then_some(baseline))
+            };
+            let (far_latest, far_baseline) = read(End::Far);
+            let (near_latest, _) = read(End::Near);
+            let elevated = match (far_latest, far_baseline) {
+                (Some(l), Some(b)) => l > b + 7.0,
+                _ => false,
+            };
+            let rel = vp
+                .bdrmap
+                .as_ref()
+                .and_then(|b| {
+                    b.links
+                        .iter()
+                        .find(|l| l.near_ip == task.near_ip && l.far_ip == task.far_ip)
+                })
+                .map(|l| (l.far_as, l.rel));
+            out.push(LinkStatus {
+                vp: vp.handle.name.clone(),
+                near_ip: task.near_ip,
+                far_ip: task.far_ip,
+                neighbor: rel.map(|(a, _)| a),
+                rel: rel.map(|(_, r)| r).unwrap_or(LinkRel::Unknown),
+                far_latest_ms: far_latest,
+                far_baseline_ms: far_baseline,
+                near_latest_ms: near_latest,
+                elevated,
+            });
+        }
+        out
+    }
+
+    /// Retire a VP (host churn): it stops probing; its history remains.
+    pub fn retire_vp(&mut self, vi: usize) {
+        self.vps[vi].active = false;
+    }
+
+    /// Number of currently active VPs.
+    pub fn active_vps(&self) -> usize {
+        self.vps.iter().filter(|v| v.active).count()
+    }
+
+    /// Index of a VP by name.
+    pub fn vp_index(&self, name: &str) -> usize {
+        self.vps
+            .iter()
+            .position(|v| v.handle.name == name)
+            .unwrap_or_else(|| panic!("unknown VP {name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_netsim::time::{datetime_to_sim, Date};
+    use manic_scenario::worlds::{toy, toy_asns};
+
+    #[test]
+    fn bdrmap_cycle_builds_probing_state() {
+        let mut sys = System::new(toy(1), SystemConfig::default());
+        let n = sys.run_bdrmap_cycle(0, 0);
+        assert!(n >= 3, "tasks for transit + 2 peers + customer, got {n}");
+        let vp = &sys.vps[0];
+        assert!(vp.bdrmap.is_some());
+        // Every task has 1-3 destinations with far_ttl == near_ttl + 1.
+        for task in &vp.tslp.tasks {
+            assert!(!task.dests.is_empty() && task.dests.len() <= 3);
+            for d in &task.dests {
+                assert_eq!(d.far_ttl, d.near_ttl + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn packet_mode_fills_store() {
+        let mut sys = System::new(toy(1), SystemConfig::default());
+        let from = datetime_to_sim(Date::new(2016, 6, 7), 0, 0, 0);
+        let rounds = sys.run_packet_mode(from, from + 3600);
+        assert_eq!(rounds, 12);
+        assert!(sys.store.series_count() > 0);
+        // The far series of the congested link has ~1 sample per round per dest.
+        let vp = &sys.vps[0];
+        let gt = &sys.world.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+        let task = vp
+            .tslp
+            .tasks
+            .iter()
+            .find(|t| t.far_ip == gt.far_addr_from(toy_asns::ACME))
+            .expect("task for the congested link");
+        let key = series_key(&vp.handle.name, task, End::Far);
+        let pts = sys.store.query(&key, from, from + 3600);
+        assert!(pts.len() >= 12, "{} far samples", pts.len());
+    }
+
+    #[test]
+    fn reactive_loss_arms_on_congested_link() {
+        let mut sys = System::new(toy(1), SystemConfig::default());
+        // Evening with the scripted 4h congestion window (9pm NYC = 02 UTC).
+        let from = datetime_to_sim(Date::new(2016, 6, 7), 22, 0, 0);
+        let to = from + 8 * 3600;
+        sys.run_packet_mode(from, to);
+        let n = sys.arm_reactive_loss(0, from, to);
+        assert!(n >= 1, "congested peering should trigger loss probing");
+        // The congested link is among the targets.
+        let gt = &sys.world.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+        let far = gt.far_addr_from(toy_asns::ACME);
+        assert!(sys.vps[0].loss.targets.iter().any(|t| t.far_ip == far));
+    }
+
+    #[test]
+    fn snapshot_flags_the_congested_link_live() {
+        let mut sys = System::new(toy(1), SystemConfig::default());
+        // Evening: the cdnco peering is congested.
+        let from = datetime_to_sim(Date::new(2016, 6, 7), 22, 0, 0);
+        let to = from + 5 * 3600;
+        sys.run_packet_mode(from, to);
+        let rows = sys.snapshot(0, to - 300, 4 * 3600);
+        assert!(!rows.is_empty());
+        let gt = &sys.world.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+        let far = gt.far_addr_from(toy_asns::ACME);
+        let hot = rows.iter().find(|r| r.far_ip == far).expect("dashboard row");
+        assert!(hot.elevated, "{hot:?}");
+        assert!(hot.far_latest_ms.unwrap() > hot.far_baseline_ms.unwrap() + 7.0);
+        // The clean vidco peering is not elevated.
+        let clean_far = sys.world.links_between(toy_asns::ACME, toy_asns::VIDCO)[0]
+            .far_addr_from(toy_asns::ACME);
+        if let Some(clean) = rows.iter().find(|r| r.far_ip == clean_far) {
+            assert!(!clean.elevated, "{clean:?}");
+        }
+        // Relationship attribution present.
+        assert_eq!(hot.neighbor, Some(toy_asns::CDNCO));
+    }
+
+    #[test]
+    fn quiet_period_arms_nothing() {
+        let mut sys = System::new(toy(1), SystemConfig::default());
+        // 06:00-14:00 UTC = 1am-9am NYC: no congestion scripted.
+        let from = datetime_to_sim(Date::new(2016, 6, 7), 6, 0, 0);
+        let to = from + 8 * 3600;
+        sys.run_packet_mode(from, to);
+        let n = sys.arm_reactive_loss(0, from, to);
+        assert_eq!(n, 0, "no level shifts in quiet hours");
+    }
+}

@@ -1,0 +1,78 @@
+//! Multi-VP merging (§4.2, final stage).
+//!
+//! "The final stage of the scheme merges estimates from all VPs that observe
+//! a given interdomain link to derive an overall inference. Congestion
+//! inferences for the same link based on data from different VPs are
+//! typically similar. Significant differences may reflect an asymmetric
+//! return path." We take, per day, the maximum estimate across VPs: a VP
+//! whose replies dodge the congested link under-observes, so the most
+//! congested view is the faithful one.
+
+use crate::autocorr::DayEstimate;
+
+/// Merge per-VP day estimates for one link. All inputs must cover the same
+/// day range (estimates are keyed by `day`); days missing from a VP simply
+/// don't contribute.
+pub fn merge_day_estimates(per_vp: &[Vec<DayEstimate>]) -> Vec<DayEstimate> {
+    use std::collections::BTreeMap;
+    let mut merged: BTreeMap<usize, DayEstimate> = BTreeMap::new();
+    for series in per_vp {
+        for &d in series {
+            merged
+                .entry(d.day)
+                .and_modify(|m| {
+                    if d.congested_intervals > m.congested_intervals {
+                        *m = d;
+                    }
+                })
+                .or_insert(d);
+        }
+    }
+    merged.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(day: usize, intervals: usize) -> DayEstimate {
+        DayEstimate {
+            day,
+            congested_intervals: intervals,
+            congestion_pct: intervals as f64 / 96.0,
+        }
+    }
+
+    #[test]
+    fn takes_max_per_day() {
+        let vp1 = vec![est(0, 4), est(1, 0), est(2, 10)];
+        let vp2 = vec![est(0, 2), est(1, 6), est(2, 10)];
+        let m = merge_day_estimates(&[vp1, vp2]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].congested_intervals, 4);
+        assert_eq!(m[1].congested_intervals, 6);
+        assert_eq!(m[2].congested_intervals, 10);
+    }
+
+    #[test]
+    fn handles_disjoint_day_ranges() {
+        let vp1 = vec![est(0, 4)];
+        let vp2 = vec![est(1, 2)];
+        let m = merge_day_estimates(&[vp1, vp2]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].day, 0);
+        assert_eq!(m[1].day, 1);
+    }
+
+    #[test]
+    fn single_vp_passthrough() {
+        let vp1 = vec![est(0, 4), est(1, 5)];
+        let m = merge_day_estimates(&[vp1.clone()]);
+        assert_eq!(m, vp1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_day_estimates(&[]).is_empty());
+    }
+}

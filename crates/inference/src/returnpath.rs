@@ -1,0 +1,149 @@
+//! Return-path congestion signatures (§7 extension).
+//!
+//! "Another approach to determine the return path relies on extracting a
+//! long-term congestion signature of the path from our data. We have found
+//! that a simple correlation between two TSLP time-series provides a good
+//! indication that return traffic from those two targets traversed the same
+//! congested path."
+//!
+//! Given two min-filtered far-end series, this module extracts each one's
+//! *elevation signature* (the binary elevated/not pattern above the §4.2
+//! threshold) and correlates them. Two targets whose replies share a
+//! congested link elevate in lockstep; unrelated targets don't. The same
+//! machinery flags a suspected asymmetric return path: a link whose far-end
+//! signature correlates more strongly with a *different* link's far series
+//! than with its own diurnal window is probably being measured through that
+//! other link.
+
+use manic_stats::acf::pearson;
+
+/// Result of comparing two targets' congestion signatures.
+#[derive(Debug, Clone, Copy)]
+pub struct SignatureMatch {
+    /// Pearson correlation of the elevation indicator series.
+    pub correlation: f64,
+    /// Bins where both series had data.
+    pub overlap_bins: usize,
+    /// Fraction of elevated bins in series A (diagnostic).
+    pub elevated_a: f64,
+    pub elevated_b: f64,
+}
+
+impl SignatureMatch {
+    /// Operating point for "these replies share a congested path": strong
+    /// positive correlation over a meaningful overlap, with both series
+    /// actually showing congestion (correlating two flat series is
+    /// meaningless).
+    pub fn shared_path_suspected(&self) -> bool {
+        self.correlation > 0.6
+            && self.overlap_bins >= 96
+            && self.elevated_a > 0.01
+            && self.elevated_b > 0.01
+    }
+}
+
+/// Binary elevation signature of a min-filtered series: 1.0 where the value
+/// exceeds `min + elevation_ms`, 0.0 elsewhere, `None` preserved.
+pub fn elevation_signature(series: &[Option<f64>], elevation_ms: f64) -> Vec<Option<f64>> {
+    let min = series.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+    if !min.is_finite() {
+        return vec![None; series.len()];
+    }
+    let thresh = min + elevation_ms;
+    series
+        .iter()
+        .map(|v| v.map(|x| if x > thresh { 1.0 } else { 0.0 }))
+        .collect()
+}
+
+/// Correlate the congestion signatures of two aligned far-end series.
+///
+/// Returns `None` when the overlap is too small to say anything (< 8 bins)
+/// or either signature is constant over the overlap.
+pub fn correlate_signatures(
+    a: &[Option<f64>],
+    b: &[Option<f64>],
+    elevation_ms: f64,
+) -> Option<SignatureMatch> {
+    assert_eq!(a.len(), b.len(), "series must be aligned");
+    let sig_a = elevation_signature(a, elevation_ms);
+    let sig_b = elevation_signature(b, elevation_ms);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (x, y) in sig_a.iter().zip(&sig_b) {
+        if let (Some(x), Some(y)) = (x, y) {
+            xs.push(*x);
+            ys.push(*y);
+        }
+    }
+    if xs.len() < 8 {
+        return None;
+    }
+    let r = pearson(&xs, &ys);
+    if r.is_nan() {
+        return None;
+    }
+    Some(SignatureMatch {
+        correlation: r,
+        overlap_bins: xs.len(),
+        elevated_a: xs.iter().sum::<f64>() / xs.len() as f64,
+        elevated_b: ys.iter().sum::<f64>() / ys.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A series elevated during [lo, hi) of each 96-bin day.
+    fn diurnal(days: usize, lo: usize, hi: usize, amount: f64) -> Vec<Option<f64>> {
+        (0..days * 96)
+            .map(|i| {
+                let iv = i % 96;
+                let base = 10.0 + (i % 3) as f64 * 0.1;
+                Some(if iv >= lo && iv < hi { base + amount } else { base })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_series_correlate() {
+        let a = diurnal(10, 80, 92, 30.0);
+        let b = diurnal(10, 80, 92, 25.0);
+        let m = correlate_signatures(&a, &b, 7.0).unwrap();
+        assert!(m.correlation > 0.95, "r={}", m.correlation);
+        assert!(m.shared_path_suspected());
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_correlate() {
+        let a = diurnal(10, 80, 92, 30.0);
+        let b = diurnal(10, 20, 32, 30.0);
+        let m = correlate_signatures(&a, &b, 7.0).unwrap();
+        assert!(m.correlation < 0.2, "r={}", m.correlation);
+        assert!(!m.shared_path_suspected());
+    }
+
+    #[test]
+    fn flat_series_not_suspected() {
+        let a = diurnal(10, 80, 92, 30.0);
+        let b = diurnal(10, 0, 0, 0.0); // never elevated
+        // Constant signature -> pearson NaN -> None.
+        assert!(correlate_signatures(&a, &b, 7.0).is_none());
+    }
+
+    #[test]
+    fn signature_extraction() {
+        let s = vec![Some(10.0), Some(25.0), None, Some(10.5)];
+        let sig = elevation_signature(&s, 7.0);
+        assert_eq!(sig, vec![Some(0.0), Some(1.0), None, Some(0.0)]);
+        assert_eq!(elevation_signature(&[None, None], 7.0), vec![None, None]);
+    }
+
+    #[test]
+    fn short_overlap_rejected() {
+        let a = vec![Some(1.0); 4];
+        let b = vec![Some(1.0); 4];
+        assert!(correlate_signatures(&a, &b, 7.0).is_none());
+    }
+}

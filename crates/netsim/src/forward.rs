@@ -1,0 +1,775 @@
+//! Packet forwarding: probe execution over the topology.
+//!
+//! This is the part of the substrate the measurement tools talk to. A probe
+//! is forwarded hop by hop: each router performs a longest-prefix-match
+//! lookup, picks an ECMP group member by flow hash, and the packet crosses
+//! the link paying propagation plus the standing-queue delay of the link's
+//! current direction-specific load (and a loss draw against its drop
+//! probability). TTL expiry raises an ICMP time-exceeded from the expiring
+//! router's *ingress* interface — the address TSLP and traceroute observe —
+//! subject to that router's ICMP profile (slow path, rate limiting,
+//! unresponsiveness). Replies are themselves routed hop by hop, so
+//! asymmetric return paths and return-path congestion behave exactly as the
+//! paper describes (§7).
+
+use crate::fib::{ecmp_pick, Fib};
+use crate::icmp::RateLimiter;
+use crate::ip::Ipv4;
+use crate::noise;
+use crate::queue::LinkState;
+use crate::time::SimTime;
+use crate::topo::{Direction, LinkId, RouterId, Topology};
+use std::collections::HashMap;
+
+/// Maximum hops a packet may take before we declare a forwarding loop.
+const MAX_HOPS: usize = 64;
+
+/// Classifies the probe for bookkeeping (both are ICMP echoes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// TSLP / traceroute style TTL-limited probe.
+    TtlLimited,
+    /// Full-TTL echo (loss probing toward a far interface uses TTL-limited
+    /// probes too; this is for completeness and host pings).
+    Echo,
+}
+
+/// A probe to inject.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeSpec {
+    /// Source host (a router that terminates traffic).
+    pub src: RouterId,
+    /// Source address (must belong to `src`).
+    pub src_addr: Ipv4,
+    pub dst: Ipv4,
+    pub ttl: u8,
+    /// Flow identifier (the ICMP checksum TSLP keeps constant, §3.1).
+    pub flow_id: u16,
+}
+
+/// Outcome of a probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeStatus {
+    /// TTL expired; ICMP time-exceeded received.
+    TimeExceeded { from: Ipv4, rtt_ms: f64 },
+    /// Destination answered.
+    EchoReply { from: Ipv4, rtt_ms: f64 },
+    /// Probe or reply lost (queue drop, rate limiting, unresponsive router).
+    Lost,
+    /// No route to the destination.
+    Unroutable,
+}
+
+impl ProbeStatus {
+    pub fn rtt(&self) -> Option<f64> {
+        match *self {
+            ProbeStatus::TimeExceeded { rtt_ms, .. } | ProbeStatus::EchoReply { rtt_ms, .. } => {
+                Some(rtt_ms)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn responder(&self) -> Option<Ipv4> {
+        match *self {
+            ProbeStatus::TimeExceeded { from, .. } | ProbeStatus::EchoReply { from, .. } => {
+                Some(from)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One hop of a deterministic path walk (no loss draws).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopObservation {
+    pub router: RouterId,
+    /// Ingress interface address at this router (what a traceroute sees).
+    pub ingress_addr: Ipv4,
+    pub link: LinkId,
+    pub direction: Direction,
+}
+
+/// Mutable simulation state: ICMP rate limiter buckets and the draw counter
+/// feeding probe-level randomness. One `SimState` per measurement driver;
+/// probes must be issued in nondecreasing time order for rate limiting to be
+/// meaningful (the drivers do).
+#[derive(Debug, Default)]
+pub struct SimState {
+    limiters: HashMap<RouterId, RateLimiter>,
+    counter: u64,
+}
+
+impl SimState {
+    pub fn new() -> Self {
+        SimState::default()
+    }
+
+    fn next(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter
+    }
+}
+
+/// The simulated network: an immutable topology plus time-versioned routing.
+///
+/// Routing tables are organized as *epochs*: `(activation_time, per-router
+/// FIBs)`. Most scenarios install a single epoch; routing-change experiments
+/// (the probing-set staleness the paper handles in §3.2) add more.
+pub struct Network {
+    pub topo: Topology,
+    epochs: Vec<(SimTime, Vec<Fib>)>,
+    pub seed: u64,
+    /// Global fault injection: additional probability that any probe (or its
+    /// reply) is dropped on each link crossing, independent of link state.
+    /// Zero in normal operation; robustness tests raise it (in the spirit of
+    /// smoltcp's `--drop-chance` examples).
+    pub fault_drop_prob: f64,
+}
+
+impl Network {
+    /// Create a network with an initial routing epoch active from t=-inf.
+    pub fn new(topo: Topology, fibs: Vec<Fib>, seed: u64) -> Self {
+        assert_eq!(fibs.len(), topo.routers.len(), "one FIB per router");
+        Network { topo, epochs: vec![(SimTime::MIN, fibs)], seed, fault_drop_prob: 0.0 }
+    }
+
+    /// Install a new routing epoch activating at `t` (must be the latest).
+    pub fn add_epoch(&mut self, t: SimTime, fibs: Vec<Fib>) {
+        assert_eq!(fibs.len(), self.topo.routers.len(), "one FIB per router");
+        assert!(
+            self.epochs.last().is_none_or(|(t0, _)| *t0 < t),
+            "epochs must be appended in increasing time order"
+        );
+        self.epochs.push((t, fibs));
+    }
+
+    fn fibs_at(&self, t: SimTime) -> &[Fib] {
+        let idx = self.epochs.partition_point(|(t0, _)| *t0 <= t);
+        &self.epochs[idx - 1].1
+    }
+
+    /// FIB of one router at time `t` (diagnostics).
+    pub fn fib(&self, router: RouterId, t: SimTime) -> &Fib {
+        &self.fibs_at(t)[router.0 as usize]
+    }
+
+    /// Ground truth: the state of `link` in direction `dir` at `t`.
+    ///
+    /// Analysis code must NOT call this — it exists for the §5.4
+    /// operator-validation harness, the NDT throughput model, and tests.
+    pub fn link_state(&self, link: LinkId, dir: Direction, t: SimTime) -> LinkState {
+        let l = self.topo.link(link);
+        let stream = (link.0 as u64) << 1 | matches!(dir, Direction::BtoA) as u64;
+        match l.load(dir) {
+            Some(m) => l.queue.state(m.utilization(t), self.seed, stream, t),
+            None => LinkState::idle(),
+        }
+    }
+
+    /// Deterministic next-hop decision at `cur` for `dst` under flow `flow_id`.
+    ///
+    /// Returns `(link, direction, next router, ingress interface addr at next)`.
+    fn forward_hop(
+        &self,
+        cur: RouterId,
+        dst: Ipv4,
+        src_for_hash: Ipv4,
+        flow_id: u16,
+        t: SimTime,
+    ) -> Option<(LinkId, Direction, RouterId, Ipv4)> {
+        let fib = &self.fibs_at(t)[cur.0 as usize];
+        let group = fib.lookup(dst)?;
+        let egress = ecmp_pick(group, flow_id, src_for_hash, dst, cur.0 as u64);
+        let link = self.topo.iface(egress).link?;
+        let dir = self.topo.link_direction(link, egress);
+        let peer = self.topo.peer_iface(egress).expect("connected iface has a peer");
+        Some((link, dir, peer.router, peer.addr))
+    }
+
+    /// Walk the forward path from `src` toward `dst` without loss draws.
+    ///
+    /// Used by ground-truth inspection, target selection, and the NDT model
+    /// (which needs the set of links a TCP flow crosses). The walk stops at
+    /// the terminating router, at a routing dead end, or after the 64-hop
+    /// loop guard.
+    pub fn forward_path(
+        &self,
+        src: RouterId,
+        dst: Ipv4,
+        flow_id: u16,
+        t: SimTime,
+    ) -> Vec<HopObservation> {
+        let src_addr = self
+            .topo
+            .router(src)
+            .ifaces
+            .first()
+            .map(|&i| self.topo.iface(i).addr)
+            .unwrap_or(Ipv4::UNSPECIFIED);
+        let mut out = Vec::new();
+        let mut cur = src;
+        for _ in 0..MAX_HOPS {
+            if self.topo.terminates(cur, dst) {
+                break;
+            }
+            let Some((link, dir, next, ingress)) =
+                self.forward_hop(cur, dst, src_addr, flow_id, t)
+            else {
+                break;
+            };
+            out.push(HopObservation { router: next, ingress_addr: ingress, link, direction: dir });
+            cur = next;
+        }
+        out
+    }
+
+    /// Cross one link: returns `Some(one-way delay in ms)` or `None` if the
+    /// packet is dropped.
+    fn cross(
+        &self,
+        link: LinkId,
+        dir: Direction,
+        t: SimTime,
+        state: &mut SimState,
+    ) -> Option<f64> {
+        let l = self.topo.link(link);
+        let ls = self.link_state(link, dir, t);
+        let p = ls.loss + self.fault_drop_prob;
+        if p > 0.0 && noise::bernoulli(self.seed ^ 0x10_55, link.0 as u64, state.next(), p) {
+            return None;
+        }
+        Some(l.prop_delay_ms + ls.queue_ms)
+    }
+
+    /// Route a reply from `from` back to `to_addr`, returning the one-way
+    /// delay, or `None` when the reply is lost or unroutable.
+    fn reply_path_delay(
+        &self,
+        from: RouterId,
+        from_addr: Ipv4,
+        to_addr: Ipv4,
+        flow_id: u16,
+        t: SimTime,
+        state: &mut SimState,
+    ) -> Option<f64> {
+        let mut cur = from;
+        let mut total = 0.0;
+        for _ in 0..MAX_HOPS {
+            if self.topo.terminates(cur, to_addr) {
+                return Some(total);
+            }
+            let (link, dir, next, _) = self.forward_hop(cur, to_addr, from_addr, flow_id, t)?;
+            total += self.cross(link, dir, t, state)?;
+            cur = next;
+        }
+        None
+    }
+
+    /// Generate an ICMP response at `router`: applies unresponsiveness,
+    /// rate limiting, and slow-path delay. Returns the generation delay.
+    fn icmp_generate(
+        &self,
+        router: RouterId,
+        t: SimTime,
+        state: &mut SimState,
+    ) -> Option<f64> {
+        let prof = &self.topo.router(router).icmp;
+        if prof.unresponsive_prob > 0.0
+            && noise::bernoulli(self.seed ^ 0x1C_3F, router.0 as u64, state.next(), prof.unresponsive_prob)
+        {
+            return None;
+        }
+        if let Some(flaky) = prof.flaky {
+            if flaky.is_flaky_now(self.seed, router.0 as u64, t)
+                && noise::bernoulli(self.seed ^ 0xF1A7, router.0 as u64, state.next(), flaky.drop_prob)
+            {
+                return None;
+            }
+        }
+        if let Some(pps) = prof.rate_limit_pps {
+            let burst = prof.rate_limit_burst;
+            let rl = state
+                .limiters
+                .entry(router)
+                .or_insert_with(|| RateLimiter::new(burst, t));
+            if !rl.allow(pps, burst, t) {
+                return None;
+            }
+        }
+        let mut delay = prof.base_ms;
+        if prof.slow_path_prob > 0.0
+            && noise::bernoulli(self.seed ^ 0x51_0E, router.0 as u64, state.next(), prof.slow_path_prob)
+        {
+            delay += prof.slow_path_ms
+                * (0.5 + 0.5 * noise::uniform(self.seed ^ 0x51_0F, router.0 as u64, state.next()));
+        }
+        Some(delay)
+    }
+
+    /// Walk a probe's path with the IP record-route option: collects the
+    /// *egress* interface address of each router traversed, forward leg then
+    /// reply leg, capped at the option's nine slots. Deterministic (no loss
+    /// draws) — callers combine it with [`Self::send_probe`] when delivery
+    /// odds matter. Returns `None` when the probe or its reply is
+    /// unroutable.
+    pub fn record_route(
+        &self,
+        src: RouterId,
+        src_addr: Ipv4,
+        dst: Ipv4,
+        ttl: u8,
+        flow_id: u16,
+        t: SimTime,
+    ) -> Option<Vec<Ipv4>> {
+        const RR_SLOTS: usize = 9;
+        let mut slots = Vec::new();
+        let push = |addr: Ipv4, slots: &mut Vec<Ipv4>| {
+            if slots.len() < RR_SLOTS {
+                slots.push(addr);
+            }
+        };
+        // Forward leg until TTL expiry or termination.
+        let walk = self.forward_path(src, dst, flow_id, t);
+        if walk.is_empty() {
+            return None;
+        }
+        let take = (ttl as usize).min(walk.len());
+        for hop in &walk[..take] {
+            // The egress iface of the *previous* router is the peer of this
+            // hop's ingress iface.
+            let ingress = self.topo.iface_by_addr(hop.ingress_addr)?;
+            let egress = self.topo.peer_iface(ingress.id)?;
+            push(egress.addr, &mut slots);
+        }
+        let responder = walk[take - 1].router;
+        // Reply leg back to the VP.
+        let reply = self.forward_path(responder, src_addr, flow_id, t);
+        if reply.is_empty() || reply.last().map(|h| h.router) != Some(src) {
+            return None;
+        }
+        for hop in &reply {
+            let ingress = self.topo.iface_by_addr(hop.ingress_addr)?;
+            let egress = self.topo.peer_iface(ingress.id)?;
+            push(egress.addr, &mut slots);
+        }
+        Some(slots)
+    }
+
+    /// Inject one probe at time `t` and resolve its fate.
+    pub fn send_probe(&self, state: &mut SimState, spec: ProbeSpec, t: SimTime) -> ProbeStatus {
+        let mut cur = spec.src;
+        let mut fwd = 0.0;
+        let mut ttl = spec.ttl;
+        if ttl == 0 {
+            return ProbeStatus::Lost;
+        }
+        for _ in 0..MAX_HOPS {
+            if self.topo.terminates(cur, spec.dst) && cur != spec.src {
+                // Destination host answers the echo.
+                let Some(gen) = self.icmp_generate(cur, t, state) else {
+                    return ProbeStatus::Lost;
+                };
+                let Some(rev) =
+                    self.reply_path_delay(cur, spec.dst, spec.src_addr, spec.flow_id, t, state)
+                else {
+                    return ProbeStatus::Lost;
+                };
+                return ProbeStatus::EchoReply { from: spec.dst, rtt_ms: fwd + gen + rev };
+            }
+            let Some((link, dir, next, ingress)) =
+                self.forward_hop(cur, spec.dst, spec.src_addr, spec.flow_id, t)
+            else {
+                return ProbeStatus::Unroutable;
+            };
+            let Some(delay) = self.cross(link, dir, t, state) else {
+                return ProbeStatus::Lost;
+            };
+            fwd += delay;
+            cur = next;
+            ttl -= 1;
+            if ttl == 0 && !self.topo.terminates(cur, spec.dst) {
+                // Time exceeded at `cur`; response sourced from the ingress
+                // interface the packet arrived on.
+                let Some(gen) = self.icmp_generate(cur, t, state) else {
+                    return ProbeStatus::Lost;
+                };
+                let Some(rev) =
+                    self.reply_path_delay(cur, ingress, spec.src_addr, spec.flow_id, t, state)
+                else {
+                    return ProbeStatus::Lost;
+                };
+                return ProbeStatus::TimeExceeded { from: ingress, rtt_ms: fwd + gen + rev };
+            }
+        }
+        // Forwarding loop or path longer than MAX_HOPS.
+        ProbeStatus::Lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icmp::IcmpProfile;
+    use crate::ip::Prefix;
+    use crate::queue::QueueModel;
+    use crate::topo::{AsNumber, IfaceId, LinkKind};
+    use crate::traffic::ConstantLoad;
+    use std::sync::Arc;
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    /// Chain: host(vp) -- r1 -- r2 ==interdomain== r3 -- dsthost(10.9.0.0/24)
+    /// The r2--r3 link gets a configurable load model in the r2->r3 direction
+    /// via `fwd_util` and in the r3->r2 (reply) direction via `rev_util`.
+    fn chain(fwd_util: f64, rev_util: f64) -> (Network, RouterId) {
+        let mut t = Topology::new();
+        let vp = t.add_router(AsNumber(100), "vp", "nyc", -5, IcmpProfile::default());
+        let r1 = t.add_router(AsNumber(100), "r1", "nyc", -5, IcmpProfile::default());
+        let r2 = t.add_router(AsNumber(100), "r2", "nyc", -5, IcmpProfile::default());
+        let r3 = t.add_router(AsNumber(200), "r3", "nyc", -5, IcmpProfile::default());
+        let dst = t.add_router(AsNumber(200), "dst", "nyc", -5, IcmpProfile::default());
+
+        let vp0 = t.add_iface(vp, ip("10.0.0.10"));
+        let r1a = t.add_iface(r1, ip("10.0.0.1"));
+        let r1b = t.add_iface(r1, ip("10.0.1.1"));
+        let r2a = t.add_iface(r2, ip("10.0.1.2"));
+        let r2b = t.add_iface(r2, ip("10.0.2.1"));
+        let r3a = t.add_iface(r3, ip("10.0.2.2"));
+        let r3b = t.add_iface(r3, ip("10.0.3.1"));
+        let d0 = t.add_iface(dst, ip("10.0.3.2"));
+
+        t.connect(vp0, r1a, LinkKind::Access, 0.5, 1000.0, QueueModel::default(), None, None);
+        t.connect(r1b, r2a, LinkKind::Internal, 2.0, 10_000.0, QueueModel::default(), None, None);
+        t.connect(
+            r2b,
+            r3a,
+            LinkKind::Interdomain,
+            5.0,
+            10_000.0,
+            QueueModel { jitter_ms: 0.0, overload_elasticity: 1.0, ..QueueModel::default() },
+            Some(Arc::new(ConstantLoad(fwd_util))),
+            Some(Arc::new(ConstantLoad(rev_util))),
+        );
+        t.connect(r3b, d0, LinkKind::Access, 0.5, 1000.0, QueueModel::default(), None, None);
+        t.add_host_prefix("10.9.0.0/24".parse().unwrap(), dst);
+
+        // FIBs: everything toward 10.9/24 goes right; replies go left.
+        let n = t.routers.len();
+        let mut fibs = vec![Fib::new(); n];
+        let dstp: Prefix = "10.9.0.0/24".parse().unwrap();
+        let left: Prefix = "10.0.0.0/16".parse().unwrap();
+        fibs[vp.0 as usize].insert(dstp, vec![vp0]);
+        fibs[vp.0 as usize].insert("10.0.0.0/8".parse().unwrap(), vec![vp0]);
+        fibs[r1.0 as usize].insert(dstp, vec![r1b]);
+        fibs[r1.0 as usize].insert(Prefix::host(ip("10.0.0.10")), vec![r1a]);
+        fibs[r1.0 as usize].insert("10.0.2.0/24".parse().unwrap(), vec![r1b]);
+        fibs[r2.0 as usize].insert(dstp, vec![r2b]);
+        fibs[r2.0 as usize].insert(left, vec![r2a]);
+        fibs[r3.0 as usize].insert(dstp, vec![r3b]);
+        fibs[r3.0 as usize].insert(left, vec![r3a]);
+        fibs[dst.0 as usize].insert(left, vec![d0]);
+
+        (Network::new(t, fibs, 7), vp)
+    }
+
+    fn probe(net: &Network, vp: RouterId, ttl: u8) -> ProbeStatus {
+        let mut st = SimState::new();
+        net.send_probe(
+            &mut st,
+            ProbeSpec { src: vp, src_addr: ip("10.0.0.10"), dst: ip("10.9.0.5"), ttl, flow_id: 42 },
+            0,
+        )
+    }
+
+    #[test]
+    fn traceroute_hops_in_order() {
+        let (net, vp) = chain(0.1, 0.1);
+        // TTL 1 expires at r1 (ingress 10.0.0.1), TTL 2 at r2 (10.0.1.2),
+        // TTL 3 at r3 (10.0.2.2), TTL 4+ reaches the destination.
+        match probe(&net, vp, 1) {
+            ProbeStatus::TimeExceeded { from, .. } => assert_eq!(from, ip("10.0.0.1")),
+            other => panic!("ttl1: {other:?}"),
+        }
+        match probe(&net, vp, 2) {
+            ProbeStatus::TimeExceeded { from, .. } => assert_eq!(from, ip("10.0.1.2")),
+            other => panic!("ttl2: {other:?}"),
+        }
+        match probe(&net, vp, 3) {
+            ProbeStatus::TimeExceeded { from, .. } => assert_eq!(from, ip("10.0.2.2")),
+            other => panic!("ttl3: {other:?}"),
+        }
+        match probe(&net, vp, 10) {
+            ProbeStatus::EchoReply { from, .. } => assert_eq!(from, ip("10.9.0.5")),
+            other => panic!("ttl10: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rtt_grows_with_distance() {
+        let (net, vp) = chain(0.1, 0.1);
+        let r1 = probe(&net, vp, 1).rtt().unwrap();
+        let r2 = probe(&net, vp, 2).rtt().unwrap();
+        let r3 = probe(&net, vp, 3).rtt().unwrap();
+        assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
+        // r3 crosses the 5ms link twice more than r2 (forward + reply).
+        assert!(r3 - r2 > 9.0, "expected ~10ms gap, got {}", r3 - r2);
+    }
+
+    #[test]
+    fn reverse_direction_congestion_inflates_far_rtt_only() {
+        // Congest the interdomain link in the r3->r2 (reply) direction, as a
+        // real eyeball-bound content flow would. The near-side probe (ttl 2)
+        // never crosses that link; the far-side probe's *reply* does.
+        let (quiet, vp) = chain(0.1, 0.1);
+        let (congested, _) = chain(0.1, 1.1);
+        let near_q = probe(&quiet, vp, 2).rtt().unwrap();
+        let near_c = probe(&congested, vp, 2).rtt().unwrap();
+        let far_q = probe(&quiet, vp, 3).rtt().unwrap();
+        let mut far_c = None;
+        // Overload drops ~9% of replies; retry until one gets through.
+        let mut st = SimState::new();
+        for i in 0..50 {
+            let s = congested.send_probe(
+                &mut st,
+                ProbeSpec {
+                    src: vp,
+                    src_addr: ip("10.0.0.10"),
+                    dst: ip("10.9.0.5"),
+                    ttl: 3,
+                    flow_id: 42,
+                },
+                i,
+            );
+            if let Some(r) = s.rtt() {
+                far_c = Some(r);
+                break;
+            }
+        }
+        let far_c = far_c.expect("at least one far probe should survive");
+        assert!((near_q - near_c).abs() < 2.0, "near end unaffected");
+        assert!(far_c > far_q + 30.0, "far RTT elevated by standing queue: {far_q} -> {far_c}");
+    }
+
+    #[test]
+    fn forward_direction_congestion_inflates_far_rtt() {
+        let (congested, vp) = chain(1.2, 0.1);
+        let mut st = SimState::new();
+        let mut got = None;
+        for i in 0..100 {
+            let s = congested.send_probe(
+                &mut st,
+                ProbeSpec {
+                    src: vp,
+                    src_addr: ip("10.0.0.10"),
+                    dst: ip("10.9.0.5"),
+                    ttl: 3,
+                    flow_id: 42,
+                },
+                i,
+            );
+            if let Some(r) = s.rtt() {
+                got = Some(r);
+                break;
+            }
+        }
+        assert!(got.expect("some probe survives") > 40.0);
+    }
+
+    #[test]
+    fn overload_drops_probes() {
+        let (congested, vp) = chain(2.0, 0.1); // 50% forward loss
+        let mut st = SimState::new();
+        let lost = (0..200)
+            .filter(|&i| {
+                congested
+                    .send_probe(
+                        &mut st,
+                        ProbeSpec {
+                            src: vp,
+                            src_addr: ip("10.0.0.10"),
+                            dst: ip("10.9.0.5"),
+                            ttl: 3,
+                            flow_id: 42,
+                        },
+                        i,
+                    )
+                    .rtt()
+                    .is_none()
+            })
+            .count();
+        assert!(lost > 60 && lost < 140, "expected ~50% loss, saw {lost}/200");
+    }
+
+    #[test]
+    fn unroutable_and_zero_ttl() {
+        let (net, vp) = chain(0.1, 0.1);
+        let mut st = SimState::new();
+        let s = net.send_probe(
+            &mut st,
+            ProbeSpec { src: vp, src_addr: ip("10.0.0.10"), dst: ip("172.16.0.1"), ttl: 5, flow_id: 1 },
+            0,
+        );
+        // VP's default 10/8 route forwards it, then r1 has no route.
+        assert!(matches!(s, ProbeStatus::Unroutable), "{s:?}");
+        assert_eq!(probe(&net, vp, 0), ProbeStatus::Lost);
+    }
+
+    #[test]
+    fn forward_path_lists_links() {
+        let (net, vp) = chain(0.1, 0.1);
+        let path = net.forward_path(vp, ip("10.9.0.5"), 42, 0);
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0].ingress_addr, ip("10.0.0.1"));
+        assert_eq!(path[2].ingress_addr, ip("10.0.2.2"));
+        assert_eq!(path[3].ingress_addr, ip("10.0.3.2"));
+        assert_eq!(net.topo.link(path[2].link).kind, LinkKind::Interdomain);
+    }
+
+    #[test]
+    fn routing_epochs_switch_paths() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        // New epoch at t=1000: drop the route to the destination at r1.
+        let mut fibs: Vec<Fib> = (0..net.topo.routers.len()).map(|_| Fib::new()).collect();
+        fibs[vp.0 as usize].insert("10.0.0.0/8".parse().unwrap(), vec![IfaceId(0)]);
+        net.add_epoch(1000, fibs);
+        assert!(probe(&net, vp, 4).rtt().is_some());
+        let mut st = SimState::new();
+        let late = net.send_probe(
+            &mut st,
+            ProbeSpec { src: vp, src_addr: ip("10.0.0.10"), dst: ip("10.9.0.5"), ttl: 4, flow_id: 42 },
+            2000,
+        );
+        assert!(matches!(late, ProbeStatus::Unroutable), "{late:?}");
+    }
+
+    #[test]
+    fn rate_limited_router_drops_excess() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        // Make r2 rate-limit to 1 pps with burst 2.
+        net.topo.routers[2].icmp = IcmpProfile {
+            rate_limit_pps: Some(1.0),
+            rate_limit_burst: 2.0,
+            ..IcmpProfile::default()
+        };
+        let mut st = SimState::new();
+        let mut ok = 0;
+        for _ in 0..10 {
+            let s = net.send_probe(
+                &mut st,
+                ProbeSpec { src: vp, src_addr: ip("10.0.0.10"), dst: ip("10.9.0.5"), ttl: 2, flow_id: 9 },
+                0, // all at the same instant
+            );
+            if s.rtt().is_some() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 2, "only the burst passes");
+    }
+
+    #[test]
+    fn silent_router_never_answers() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        net.topo.routers[1].icmp = IcmpProfile::silent();
+        for _ in 0..5 {
+            assert_eq!(probe(&net, vp, 1), ProbeStatus::Lost);
+        }
+        // But it still forwards.
+        assert!(probe(&net, vp, 2).rtt().is_some());
+    }
+}
+
+#[cfg(test)]
+mod rr_tests {
+    use super::*;
+    use crate::icmp::IcmpProfile;
+    use crate::ip::Prefix;
+    use crate::queue::QueueModel;
+    use crate::topo::{AsNumber, LinkKind};
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    /// A long chain of 12 routers so the RR option's nine slots overflow.
+    fn long_chain() -> (Network, RouterId, Ipv4) {
+        let mut t = Topology::new();
+        let n = 12;
+        let mut routers = Vec::new();
+        for i in 0..n {
+            routers.push(t.add_router(
+                AsNumber(100),
+                format!("r{i}"),
+                "nyc",
+                -5,
+                IcmpProfile::default(),
+            ));
+        }
+        let mut fibs = vec![Fib::new(); n];
+        let dstp: Prefix = "10.9.0.0/24".parse().unwrap();
+        let backp: Prefix = "10.0.0.0/16".parse().unwrap();
+        for i in 0..n - 1 {
+            let a = t.add_iface(routers[i], ip(&format!("10.0.{i}.1")));
+            let b = t.add_iface(routers[i + 1], ip(&format!("10.0.{i}.2")));
+            t.connect(a, b, LinkKind::Internal, 1.0, 1000.0, QueueModel::default(), None, None);
+            fibs[i].insert(dstp, vec![a]);
+            fibs[i + 1].insert(backp, vec![b]);
+        }
+        t.add_host_prefix(dstp, routers[n - 1]);
+        let src_addr = ip("10.0.0.1");
+        (Network::new(t, fibs, 5), routers[0], src_addr)
+    }
+
+    #[test]
+    fn record_route_caps_at_nine_slots() {
+        let (net, src, src_addr) = long_chain();
+        let slots = net
+            .record_route(src, src_addr, ip("10.9.0.5"), 32, 1, 0)
+            .expect("routable");
+        assert_eq!(slots.len(), 9, "IP RR option holds nine addresses");
+    }
+
+    #[test]
+    fn record_route_unroutable_is_none() {
+        let (net, src, src_addr) = long_chain();
+        assert!(net.record_route(src, src_addr, ip("172.16.0.1"), 32, 1, 0).is_none());
+    }
+
+    #[test]
+    fn fault_injection_is_off_by_default_and_scales() {
+        let (net, src, src_addr) = long_chain();
+        let mut st = SimState::new();
+        // Clean by default (base loss only): nearly all probes answered.
+        let ok = (0..100)
+            .filter(|&i| {
+                net.send_probe(
+                    &mut st,
+                    ProbeSpec { src, src_addr, dst: ip("10.9.0.5"), ttl: 32, flow_id: 1 },
+                    i,
+                )
+                .rtt()
+                .is_some()
+            })
+            .count();
+        assert!(ok >= 98, "{ok}/100");
+        // With a 5% per-crossing fault over ~22 crossings, most probes die.
+        let mut faulty = net;
+        faulty.fault_drop_prob = 0.05;
+        let mut st = SimState::new();
+        let ok = (0..100)
+            .filter(|&i| {
+                faulty
+                    .send_probe(
+                        &mut st,
+                        ProbeSpec { src, src_addr, dst: ip("10.9.0.5"), ttl: 32, flow_id: 1 },
+                        i,
+                    )
+                    .rtt()
+                    .is_some()
+            })
+            .count();
+        assert!(ok < 70, "{ok}/100 under fault injection");
+    }
+}

@@ -1,0 +1,212 @@
+//! Simulated calendar time.
+//!
+//! Simulation timestamps are seconds since the simulation epoch,
+//! **2016-01-01 00:00:00 UTC** — two months before the paper's measurement
+//! window opens (March 2016) so that warm-up probing has room. The analysis
+//! pipelines need civil-calendar arithmetic (month boundaries for Figure 7,
+//! day-of-week for Figure 9's weekend split, local time-of-day for the FCC
+//! peak-hours comparison), so this module provides a small proleptic
+//! Gregorian calendar with no external dependencies.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds since 2016-01-01 00:00:00 UTC.
+pub type SimTime = i64;
+
+pub const SECS_PER_MIN: i64 = 60;
+pub const SECS_PER_HOUR: i64 = 3600;
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// Days between 1970-01-01 and 2016-01-01 (the simulation epoch).
+const EPOCH_DAYS_FROM_UNIX: i64 = 16_801;
+
+/// A civil calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    pub year: i32,
+    /// 1-12.
+    pub month: u8,
+    /// 1-31.
+    pub day: u8,
+}
+
+impl Date {
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month) && (1..=31).contains(&day));
+        Date { year, month, day }
+    }
+}
+
+/// Days from the Unix epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_unix(d: Date) -> i64 {
+    let y = d.year as i64 - if d.month <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = d.month as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d.day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_unix`].
+fn unix_days_to_date(z: i64) -> Date {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+    Date { year: (y + if m <= 2 { 1 } else { 0 }) as i32, month: m, day: d }
+}
+
+/// Simulation time at 00:00 UTC on the given date.
+pub fn date_to_sim(d: Date) -> SimTime {
+    (days_from_unix(d) - EPOCH_DAYS_FROM_UNIX) * SECS_PER_DAY
+}
+
+/// Simulation time for a date + UTC clock time.
+pub fn datetime_to_sim(d: Date, hour: u8, min: u8, sec: u8) -> SimTime {
+    date_to_sim(d) + hour as i64 * SECS_PER_HOUR + min as i64 * SECS_PER_MIN + sec as i64
+}
+
+/// Civil UTC date for a simulation time.
+pub fn sim_to_date(t: SimTime) -> Date {
+    unix_days_to_date(t.div_euclid(SECS_PER_DAY) + EPOCH_DAYS_FROM_UNIX)
+}
+
+/// Day of week: 0 = Monday ... 6 = Sunday.
+pub fn day_of_week(t: SimTime) -> u8 {
+    // 1970-01-01 was a Thursday (weekday index 3 with Monday=0).
+    let days = t.div_euclid(SECS_PER_DAY) + EPOCH_DAYS_FROM_UNIX;
+    ((days + 3).rem_euclid(7)) as u8
+}
+
+/// True for Saturday/Sunday in UTC (callers shift by a timezone offset first
+/// when they need local weekends).
+pub fn is_weekend(t: SimTime) -> bool {
+    day_of_week(t) >= 5
+}
+
+/// Fractional hour of day, UTC [0, 24).
+pub fn hour_of_day(t: SimTime) -> f64 {
+    t.rem_euclid(SECS_PER_DAY) as f64 / SECS_PER_HOUR as f64
+}
+
+/// Fractional local hour of day for a fixed UTC offset in hours
+/// (simulated networks use fixed offsets; DST is noise the paper's analysis
+/// also ignores).
+pub fn local_hour(t: SimTime, tz_offset_hours: i8) -> f64 {
+    hour_of_day(t + tz_offset_hours as i64 * SECS_PER_HOUR)
+}
+
+/// Months elapsed since January 2016 (Jan 2016 = 0, Mar 2016 = 2, Dec 2017 = 23).
+pub fn month_index(t: SimTime) -> u32 {
+    let d = sim_to_date(t);
+    ((d.year - 2016) * 12 + d.month as i32 - 1).max(0) as u32
+}
+
+/// First instant of month `idx` (months since Jan 2016).
+pub fn month_start(idx: u32) -> SimTime {
+    let year = 2016 + (idx / 12) as i32;
+    let month = (idx % 12) as u8 + 1;
+    date_to_sim(Date::new(year, month, 1))
+}
+
+/// Day index since the simulation epoch (UTC midnight boundaries).
+pub fn day_index(t: SimTime) -> i64 {
+    t.div_euclid(SECS_PER_DAY)
+}
+
+/// First instant of day `idx`.
+pub fn day_start(idx: i64) -> SimTime {
+    idx * SECS_PER_DAY
+}
+
+/// Human-readable `YYYY-MM-DD HH:MM` UTC rendering.
+pub fn format_sim(t: SimTime) -> String {
+    let d = sim_to_date(t);
+    let secs = t.rem_euclid(SECS_PER_DAY);
+    format!(
+        "{:04}-{:02}-{:02} {:02}:{:02}",
+        d.year,
+        d.month,
+        d.day,
+        secs / SECS_PER_HOUR,
+        (secs % SECS_PER_HOUR) / SECS_PER_MIN
+    )
+}
+
+/// Short month label (`Mar'16`) for table rendering.
+pub fn month_label(idx: u32) -> String {
+    const NAMES: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    format!("{}'{}", NAMES[(idx % 12) as usize], 16 + idx / 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_jan_1_2016() {
+        assert_eq!(sim_to_date(0), Date::new(2016, 1, 1));
+        assert_eq!(date_to_sim(Date::new(2016, 1, 1)), 0);
+    }
+
+    #[test]
+    fn leap_year_2016_handled() {
+        let feb29 = date_to_sim(Date::new(2016, 2, 29));
+        assert_eq!(sim_to_date(feb29), Date::new(2016, 2, 29));
+        assert_eq!(sim_to_date(feb29 + SECS_PER_DAY), Date::new(2016, 3, 1));
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for day in 0..800 {
+            let t = day * SECS_PER_DAY + 12 * SECS_PER_HOUR;
+            let d = sim_to_date(t);
+            assert_eq!(date_to_sim(d) + 12 * SECS_PER_HOUR, t, "day {day}");
+        }
+    }
+
+    #[test]
+    fn day_of_week_anchors() {
+        // 2016-01-01 was a Friday.
+        assert_eq!(day_of_week(0), 4);
+        // 2016-01-02 Saturday, 2016-01-03 Sunday -> weekend.
+        assert!(is_weekend(SECS_PER_DAY));
+        assert!(is_weekend(2 * SECS_PER_DAY));
+        assert!(!is_weekend(3 * SECS_PER_DAY));
+        // 2017-12-25 was a Monday.
+        assert_eq!(day_of_week(date_to_sim(Date::new(2017, 12, 25))), 0);
+    }
+
+    #[test]
+    fn month_index_and_start() {
+        assert_eq!(month_index(0), 0);
+        assert_eq!(month_index(date_to_sim(Date::new(2016, 3, 15))), 2);
+        assert_eq!(month_index(date_to_sim(Date::new(2017, 12, 31))), 23);
+        assert_eq!(month_start(2), date_to_sim(Date::new(2016, 3, 1)));
+        assert_eq!(month_start(23), date_to_sim(Date::new(2017, 12, 1)));
+        assert_eq!(month_label(2), "Mar'16");
+        assert_eq!(month_label(23), "Dec'17");
+    }
+
+    #[test]
+    fn local_hour_wraps() {
+        // 02:00 UTC at UTC-8 is 18:00 the previous day.
+        let t = datetime_to_sim(Date::new(2016, 6, 1), 2, 0, 0);
+        assert!((local_hour(t, -8) - 18.0).abs() < 1e-9);
+        assert!((local_hour(t, 0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_is_readable() {
+        let t = datetime_to_sim(Date::new(2017, 12, 7), 18, 30, 0);
+        assert_eq!(format_sim(t), "2017-12-07 18:30");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for netsim invariants.
+
+use manic_netsim::fib::ecmp_pick;
+use manic_netsim::time;
+use manic_netsim::{Fib, IfaceId, Ipv4, Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(Ipv4(a), l))
+}
+
+/// Reference LPM: linear scan over all routes.
+fn linear_lpm(routes: &[(Prefix, Vec<IfaceId>)], dst: Ipv4) -> Option<&[IfaceId]> {
+    routes
+        .iter()
+        .filter(|(p, _)| p.contains(dst))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(_, nh)| nh.as_slice())
+}
+
+proptest! {
+    /// The trie agrees with a brute-force longest-prefix match.
+    #[test]
+    fn trie_matches_linear_scan(
+        routes in prop::collection::vec((arb_prefix(), 0u32..64), 1..40),
+        dsts in prop::collection::vec(any::<u32>(), 1..32),
+    ) {
+        // Deduplicate by prefix: the trie replaces, the reference must too.
+        let mut map = std::collections::HashMap::new();
+        for (p, ifidx) in routes {
+            map.insert(p, vec![IfaceId(ifidx)]);
+        }
+        let routes: Vec<(Prefix, Vec<IfaceId>)> = map.into_iter().collect();
+        let mut fib = Fib::new();
+        for (p, nh) in &routes {
+            fib.insert(*p, nh.clone());
+        }
+        prop_assert_eq!(fib.len(), routes.len());
+        for d in dsts {
+            let dst = Ipv4(d);
+            let got = fib.lookup(dst);
+            let expected = linear_lpm(&routes, dst);
+            prop_assert_eq!(got, expected, "dst {}", dst);
+        }
+    }
+
+    /// ECMP choice is a pure function of (flow, src, dst, salt) and stays in
+    /// the group.
+    #[test]
+    fn ecmp_stable_member(
+        members in prop::collection::vec(0u32..1000, 1..8),
+        flow in any::<u16>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        salt in any::<u64>(),
+    ) {
+        let group: Vec<IfaceId> = members.iter().map(|&m| IfaceId(m)).collect();
+        let a = ecmp_pick(&group, flow, Ipv4(src), Ipv4(dst), salt);
+        let b = ecmp_pick(&group, flow, Ipv4(src), Ipv4(dst), salt);
+        prop_assert_eq!(a, b);
+        prop_assert!(group.contains(&a));
+    }
+
+    /// Calendar roundtrip over the full study window and beyond.
+    #[test]
+    fn calendar_roundtrip(day in -400i64..1200, secs in 0i64..86_400) {
+        let t = day * 86_400 + secs;
+        let d = time::sim_to_date(t);
+        let midnight = time::date_to_sim(d);
+        prop_assert_eq!(midnight, day * 86_400);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!((1..=31).contains(&d.day));
+    }
+
+    /// month_start(month_index(t)) <= t for all t in the study period.
+    #[test]
+    fn month_start_bounds(t in 0i64..63_072_000) {
+        let m = time::month_index(t);
+        prop_assert!(time::month_start(m) <= t);
+        prop_assert!(time::month_start(m + 1) > t);
+    }
+
+    /// Prefix::contains is consistent with covers.
+    #[test]
+    fn covers_implies_contains(p in arb_prefix(), q in arb_prefix(), x in any::<u32>()) {
+        if p.covers(&q) && q.contains(Ipv4(x)) {
+            prop_assert!(p.contains(Ipv4(x)));
+        }
+    }
+}

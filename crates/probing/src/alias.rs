@@ -1,0 +1,148 @@
+//! Alias resolution: grouping interface addresses into routers.
+//!
+//! bdrmap "performs alias resolution measurements on the set of discovered
+//! interfaces (using Ally and Mercator)" (§3.2). We implement the Ally
+//! technique [Spring et al., 2002]: many routers stamp outgoing packets from
+//! a single shared IP-ID counter, so two addresses probed in quick
+//! succession return *interleaved, monotonically increasing* IDs exactly
+//! when they sit on the same router.
+//!
+//! The simulator does not carry an IP header, so the counter is modeled
+//! here: a router's IP-ID at time `t` after `k` responses is a deterministic
+//! function with a per-router phase and a slow drift — close-together
+//! queries to one router give close IDs; different routers give unrelated
+//! values. This reproduces the *measurement*, not the conclusion: the test
+//! can still produce false negatives for unresponsive interfaces, exactly
+//! like the real tool.
+
+use crate::path::VpHandle;
+use manic_netsim::noise;
+use manic_netsim::time::SimTime;
+use manic_netsim::{Ipv4, Network, ProbeSpec, ProbeStatus, SimState};
+
+/// Modeled shared IP-ID counter of a router: per-router phase plus a drift
+/// of ~7 IDs per second (a moderately busy router), plus the probe serial.
+pub fn icmp_ipid(net: &Network, responder: manic_netsim::RouterId, t: SimTime, serial: u64) -> u16 {
+    let phase = noise::mix(net.seed ^ 0x1D1D ^ responder.0 as u64) & 0xFFFF;
+    (phase
+        .wrapping_add((t as u64).wrapping_mul(7))
+        .wrapping_add(serial)
+        & 0xFFFF) as u16
+}
+
+/// Velocity-window acceptance for Ally: successive IDs from one counter
+/// probed within a second should advance by less than this.
+const ALLY_WINDOW: u16 = 220;
+
+/// Run an Ally test between two interface addresses from `vp`.
+///
+/// Sends direct echoes A, B, A and checks the returned IP-IDs are mutually
+/// in sequence. Returns `Some(true)` for aliases, `Some(false)` for
+/// distinct counters, `None` when either address did not respond.
+pub fn ally_test(
+    net: &Network,
+    state: &mut SimState,
+    vp: &VpHandle,
+    a: Ipv4,
+    b: Ipv4,
+    t: SimTime,
+) -> Option<bool> {
+    let mut ids = Vec::with_capacity(3);
+    for (i, addr) in [a, b, a].into_iter().enumerate() {
+        let status = net.send_probe(
+            state,
+            ProbeSpec { src: vp.router, src_addr: vp.addr, dst: addr, ttl: 64, flow_id: 0x411 },
+            t,
+        );
+        let from = match status {
+            ProbeStatus::EchoReply { from, .. } => from,
+            _ => return None,
+        };
+        // The ID is stamped by whichever router owns the responding address.
+        let responder = net.topo.iface_by_addr(from)?.router;
+        ids.push(icmp_ipid(net, responder, t, i as u64));
+    }
+    let d1 = ids[1].wrapping_sub(ids[0]);
+    let d2 = ids[2].wrapping_sub(ids[1]);
+    Some(d1 > 0 && d1 < ALLY_WINDOW && d2 > 0 && d2 < ALLY_WINDOW)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_scenario::worlds::{toy, toy_asns};
+
+    fn vp_of(w: &manic_scenario::World, name: &str) -> VpHandle {
+        let vp = w.vp(name);
+        VpHandle { name: vp.name.clone(), router: vp.router, addr: vp.addr }
+    }
+
+    #[test]
+    fn same_router_interfaces_are_aliases() {
+        let w = toy(1);
+        let vp = vp_of(&w, "acme-nyc");
+        // An ACME border router has an internal and an external interface.
+        let gt = &w.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+        let int_addr = gt.near_addr_from(toy_asns::ACME);
+        let ext_addr = gt.far_addr_from(toy_asns::CDNCO); // == a_ext, ACME side
+        let br = w.net.topo.iface_by_addr(ext_addr).unwrap().router;
+        assert_eq!(w.net.topo.iface_by_addr(int_addr).unwrap().router, br);
+        let mut st = SimState::new();
+        let verdict = ally_test(&w.net, &mut st, &vp, int_addr, ext_addr, 1000);
+        assert_eq!(verdict, Some(true));
+    }
+
+    #[test]
+    fn different_routers_usually_not_aliases() {
+        let w = toy(1);
+        let vp = vp_of(&w, "acme-nyc");
+        let links = w.links_of(toy_asns::ACME);
+        // Compare internal interfaces of two different border routers.
+        let mut addrs: Vec<Ipv4> = links
+            .iter()
+            .map(|g| g.near_addr_from(toy_asns::ACME))
+            .collect();
+        addrs.sort();
+        addrs.dedup();
+        assert!(addrs.len() >= 2);
+        let mut st = SimState::new();
+        let mut false_pos = 0;
+        let mut tested = 0;
+        for i in 0..addrs.len() {
+            for j in (i + 1)..addrs.len() {
+                if let Some(v) = ally_test(&w.net, &mut st, &vp, addrs[i], addrs[j], 500) {
+                    tested += 1;
+                    if v {
+                        false_pos += 1;
+                    }
+                }
+            }
+        }
+        assert!(tested > 0);
+        // Random 16-bit phases land within the window only rarely.
+        assert!(
+            false_pos * 100 <= tested * 20,
+            "{false_pos}/{tested} false positives"
+        );
+    }
+
+    #[test]
+    fn unresponsive_target_gives_none() {
+        let w = toy(1);
+        let vp = vp_of(&w, "acme-nyc");
+        let mut st = SimState::new();
+        let v = ally_test(&w.net, &mut st, &vp, "172.16.0.1".parse().unwrap(), vp.addr, 0);
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn ipid_advances_with_time_and_serial() {
+        let w = toy(1);
+        let r = manic_netsim::RouterId(0);
+        let a = icmp_ipid(&w.net, r, 100, 0);
+        let b = icmp_ipid(&w.net, r, 100, 1);
+        let c = icmp_ipid(&w.net, r, 101, 1);
+        assert_eq!(b.wrapping_sub(a), 1);
+        assert_eq!(c.wrapping_sub(b), 7);
+    }
+}

@@ -1,0 +1,40 @@
+//! Measurement tools: the probing half of the paper's system (§3).
+//!
+//! Everything here observes the network only through
+//! `manic_netsim::Network::send_probe` (plus the deterministic path walk for
+//! the fluid fast path) — the same observables a scamper process on an Ark
+//! node has:
+//!
+//! * [`traceroute`] — Paris-style traceroute: fixed flow identifier per
+//!   trace so per-flow load balancers (ECMP) keep the path stable;
+//! * [`tslp`] — the Time-Series Latency Probes driver (§3.1): for every
+//!   inferred interdomain link, TTL-limited probes to the near and far
+//!   router through up to three destinations, every five minutes, with a
+//!   constant flow identifier;
+//! * [`loss`] — the reactive high-frequency loss module (§3.3): 1-second
+//!   TTL-limited probes to both ends of links under suspicion, within a
+//!   150 pps budget;
+//! * [`alias`] — Ally-style alias resolution on shared IP-ID counters,
+//!   used by border mapping to group interfaces into routers;
+//! * [`path`] — deterministic probe-path computation and the *fluid fast
+//!   path*: per-bin synthesis of exactly the statistic the packet-mode
+//!   prober would store (min-filtered RTT, per-window loss fraction), used
+//!   by the 22-month longitudinal studies where simulating every probe
+//!   packet would be waste;
+//! * [`scheduler`] — pps budgeting shared by the drivers.
+
+pub mod alias;
+pub mod asymmetry;
+pub mod loss;
+pub mod path;
+pub mod scheduler;
+pub mod traceroute;
+pub mod tslp;
+
+pub use alias::{ally_test, icmp_ipid};
+pub use asymmetry::{check_far_end, AsymmetryReport};
+pub use loss::{LossProber, LossSample};
+pub use path::{probe_path, ProbePath, VpHandle};
+pub use scheduler::RateBudget;
+pub use traceroute::{trace, Traceroute, TracerouteHop};
+pub use tslp::{TslpDest, TslpProber, TslpSample, TslpTask};

@@ -1,0 +1,74 @@
+//! Probe-rate budgeting.
+//!
+//! Every measurement module on a VP runs under a packets-per-second budget:
+//! TSLP at 100 pps, border mapping at 100 pps, loss probing at 150 pps
+//! (§3.1–§3.3). The budget spaces probe send times so rate-limited routers
+//! and the VP's uplink see a smooth stream rather than bursts.
+
+use manic_netsim::time::SimTime;
+
+/// Allocates send times at a fixed rate, never before `not_before`.
+#[derive(Debug, Clone)]
+pub struct RateBudget {
+    rate_pps: f64,
+    /// Next available send time in *microseconds* of simulation time.
+    cursor_us: i64,
+}
+
+impl RateBudget {
+    pub fn new(rate_pps: f64, start: SimTime) -> Self {
+        assert!(rate_pps > 0.0);
+        RateBudget { rate_pps, cursor_us: start * 1_000_000 }
+    }
+
+    /// Reserve the next send slot at or after `now`; returns the slot time
+    /// in whole simulation seconds (the resolution probes are issued at).
+    pub fn next_slot(&mut self, now: SimTime) -> SimTime {
+        let now_us = now * 1_000_000;
+        if self.cursor_us < now_us {
+            self.cursor_us = now_us;
+        }
+        let slot = self.cursor_us;
+        self.cursor_us += (1_000_000.0 / self.rate_pps) as i64;
+        slot / 1_000_000
+    }
+
+    /// How many probes fit in a window of `secs` seconds.
+    pub fn capacity(&self, secs: f64) -> usize {
+        (self.rate_pps * secs) as usize
+    }
+
+    /// True when `n` probes fit within a window of `secs` seconds.
+    pub fn fits(&self, n: usize, secs: f64) -> bool {
+        n <= self.capacity(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_advance_at_rate() {
+        let mut b = RateBudget::new(2.0, 0);
+        // 2 pps: two probes per second.
+        let slots: Vec<SimTime> = (0..6).map(|_| b.next_slot(0)).collect();
+        assert_eq!(slots, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn cursor_respects_now() {
+        let mut b = RateBudget::new(100.0, 0);
+        b.next_slot(0);
+        // Jump far ahead: cursor snaps to now.
+        assert_eq!(b.next_slot(1000), 1000);
+    }
+
+    #[test]
+    fn capacity_math() {
+        let b = RateBudget::new(100.0, 0);
+        assert_eq!(b.capacity(300.0), 30_000);
+        assert!(b.fits(30_000, 300.0));
+        assert!(!b.fits(30_001, 300.0));
+    }
+}

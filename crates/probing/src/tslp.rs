@@ -1,0 +1,444 @@
+//! The Time-Series Latency Probes driver (§3.1).
+//!
+//! For each inferred interdomain link, the prober holds up to three
+//! destinations such that both the near and far end of the link sit on the
+//! forward path toward them, preferring destinations inside the neighbor's
+//! address space. Every five minutes it sends TTL-limited probes that expire
+//! at the near and far interfaces, keeping the flow identifier constant per
+//! link so ECMP keeps the forward path pinned. Destinations are only
+//! replaced when they lose visibility of the link (§3.1's probing-state
+//! stability rule).
+
+use crate::path::{probe_path, ProbePath, VpHandle};
+use crate::scheduler::RateBudget;
+use crate::traceroute::Traceroute;
+use manic_netsim::noise;
+use manic_netsim::time::SimTime;
+use manic_netsim::{Ipv4, Network, ProbeSpec, ProbeStatus, SimState};
+use manic_tsdb::{SeriesKey, Store, TagSet};
+
+/// Which end of the link a sample measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum End {
+    Near,
+    Far,
+}
+
+impl End {
+    pub fn tag(self) -> &'static str {
+        match self {
+            End::Near => "near",
+            End::Far => "far",
+        }
+    }
+}
+
+/// A destination used to probe one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TslpDest {
+    pub dst: Ipv4,
+    /// TTL that expires at the near interface on the path to `dst`.
+    pub near_ttl: u8,
+    /// TTL that expires at the far interface (== near_ttl + 1 in practice).
+    pub far_ttl: u8,
+}
+
+/// Probing state for one interdomain link.
+#[derive(Debug, Clone)]
+pub struct TslpTask {
+    /// The near-end target (host network border router interface).
+    pub near_ip: Ipv4,
+    /// The far-end target (neighbor border interface on the link).
+    pub far_ip: Ipv4,
+    /// Up to three destinations behind the link.
+    pub dests: Vec<TslpDest>,
+    /// Constant flow identifier (the ICMP checksum TSLP holds fixed).
+    pub flow_id: u16,
+}
+
+impl TslpTask {
+    /// Stable series label for the link; the paper labels links by far IP.
+    pub fn link_label(&self) -> String {
+        self.far_ip.to_string()
+    }
+}
+
+/// One measurement produced by a probing round.
+#[derive(Debug, Clone, Copy)]
+pub struct TslpSample {
+    pub t: SimTime,
+    pub end: End,
+    /// RTT if a response arrived from the *expected* interface.
+    pub rtt_ms: Option<f64>,
+    /// True when a response arrived but from an unexpected address —
+    /// evidence the route no longer crosses the link (visibility loss).
+    pub mismatched: bool,
+}
+
+/// Per-VP TSLP driver.
+pub struct TslpProber {
+    pub vp: VpHandle,
+    pub tasks: Vec<TslpTask>,
+    budget: RateBudget,
+}
+
+/// Probing interval (§3.1: every five minutes).
+pub const ROUND_SECS: i64 = 300;
+/// TSLP probing budget per VP (§3.1: 100 packets per second).
+pub const TSLP_PPS: f64 = 100.0;
+
+impl TslpProber {
+    pub fn new(vp: VpHandle, start: SimTime) -> Self {
+        TslpProber { vp, tasks: Vec::new(), budget: RateBudget::new(TSLP_PPS, start) }
+    }
+
+    /// Install/update the probing set from fresh link→destination candidates
+    /// (the output of a bdrmap cycle). Existing destinations are kept while
+    /// they remain candidates; lost ones are replaced (§3.1).
+    pub fn update_targets(&mut self, candidates: Vec<TslpTask>) {
+        let mut next = Vec::with_capacity(candidates.len());
+        for mut cand in candidates {
+            if let Some(old) = self
+                .tasks
+                .iter()
+                .find(|t| t.near_ip == cand.near_ip && t.far_ip == cand.far_ip)
+            {
+                // Keep surviving old destinations, in their old order.
+                let mut kept: Vec<TslpDest> = old
+                    .dests
+                    .iter()
+                    .filter(|d| cand.dests.iter().any(|c| c.dst == d.dst))
+                    .cloned()
+                    .collect();
+                for c in &cand.dests {
+                    if kept.len() >= 3 {
+                        break;
+                    }
+                    if !kept.iter().any(|k| k.dst == c.dst) {
+                        kept.push(*c);
+                    }
+                }
+                cand.dests = kept;
+                cand.flow_id = old.flow_id;
+            }
+            cand.dests.truncate(3);
+            next.push(cand);
+        }
+        self.tasks = next;
+    }
+
+    /// Execute one five-minute probing round in packet mode, writing samples
+    /// into `store` and returning them for probing-state bookkeeping.
+    pub fn probe_round(
+        &mut self,
+        net: &Network,
+        state: &mut SimState,
+        round_start: SimTime,
+        store: &Store,
+    ) -> Vec<(usize, TslpSample)> {
+        let mut out = Vec::new();
+        for ti in 0..self.tasks.len() {
+            let task = self.tasks[ti].clone();
+            for dest in &task.dests {
+                for (end, ttl, expect) in [
+                    (End::Near, dest.near_ttl, task.near_ip),
+                    (End::Far, dest.far_ttl, task.far_ip),
+                ] {
+                    let t = self.budget.next_slot(round_start);
+                    let status = net.send_probe(
+                        state,
+                        ProbeSpec {
+                            src: self.vp.router,
+                            src_addr: self.vp.addr,
+                            dst: dest.dst,
+                            ttl,
+                            flow_id: task.flow_id,
+                        },
+                        t,
+                    );
+                    let sample = match status {
+                        ProbeStatus::TimeExceeded { from, rtt_ms }
+                        | ProbeStatus::EchoReply { from, rtt_ms } => {
+                            if from == expect {
+                                TslpSample { t, end, rtt_ms: Some(rtt_ms), mismatched: false }
+                            } else {
+                                TslpSample { t, end, rtt_ms: None, mismatched: true }
+                            }
+                        }
+                        _ => TslpSample { t, end, rtt_ms: None, mismatched: false },
+                    };
+                    if let Some(rtt) = sample.rtt_ms {
+                        store.write(&series_key(&self.vp.name, &task, end), t, rtt);
+                    }
+                    out.push((ti, sample));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fluid fast path: synthesize the dense min-per-bin series each end of
+    /// each task would exhibit over `[from, to)`, without per-probe work.
+    ///
+    /// Paths are resolved once at `from` (the caller re-synthesizes per
+    /// bdrmap cycle, mirroring the production probing-state update cadence).
+    pub fn synthesize_window(
+        &self,
+        net: &Network,
+        from: SimTime,
+        to: SimTime,
+        bin_secs: i64,
+    ) -> Vec<TaskSeries> {
+        self.tasks
+            .iter()
+            .map(|task| synthesize_task(net, &self.vp, task, from, to, bin_secs))
+            .collect()
+    }
+}
+
+/// Dense per-bin series for one task.
+#[derive(Debug, Clone)]
+pub struct TaskSeries {
+    pub near_ip: Ipv4,
+    pub far_ip: Ipv4,
+    pub link_label: String,
+    pub from: SimTime,
+    pub bin_secs: i64,
+    pub near: Vec<Option<f64>>,
+    pub far: Vec<Option<f64>>,
+}
+
+/// Synthesize one task's series (see [`TslpProber::synthesize_window`]).
+pub fn synthesize_task(
+    net: &Network,
+    vp: &VpHandle,
+    task: &TslpTask,
+    from: SimTime,
+    to: SimTime,
+    bin_secs: i64,
+) -> TaskSeries {
+    assert!(bin_secs % ROUND_SECS == 0, "bin must be a multiple of the probing round");
+    let probes_per_bin = (bin_secs / ROUND_SECS) as i32;
+    // Resolve the path per destination and end, deduplicating identical
+    // paths (the three destinations of a task normally share the TTL-limited
+    // path prefix, so only the multiplicity differs).
+    let mut paths: Vec<(End, ProbePath, i32)> = Vec::new();
+    for dest in &task.dests {
+        for (end, ttl, expect) in [
+            (End::Near, dest.near_ttl, task.near_ip),
+            (End::Far, dest.far_ttl, task.far_ip),
+        ] {
+            if let Some(pp) = probe_path(net, vp, dest.dst, ttl, task.flow_id, from) {
+                if pp.responder_addr == expect {
+                    if let Some(existing) = paths.iter_mut().find(|(e, p, _)| {
+                        *e == end && p.forward == pp.forward && p.reply == pp.reply
+                    }) {
+                        existing.2 += 1;
+                    } else {
+                        paths.push((end, pp, 1));
+                    }
+                }
+            }
+        }
+    }
+    let nbins = ((to - from) + bin_secs - 1) / bin_secs;
+    let mut near = vec![None; nbins as usize];
+    let mut far = vec![None; nbins as usize];
+    let vp_stream = noise::mix(vp.name.bytes().fold(0u64, |a, b| a.wrapping_mul(31) + b as u64));
+    for b in 0..nbins {
+        let t_mid = from + b * bin_secs + bin_secs / 2;
+        for (end, out) in [(End::Near, &mut near), (End::Far, &mut far)] {
+            let mut best: Option<f64> = None;
+            let mut miss_prob = 1.0f64;
+            let mut any_path = false;
+            for (_, pp, mult) in paths.iter().filter(|(e, _, _)| *e == end) {
+                any_path = true;
+                let (rtt, p) = pp.rtt_and_prob(net, t_mid, 1.0 / ROUND_SECS as f64);
+                miss_prob *= (1.0 - p).powi(probes_per_bin * mult);
+                best = Some(best.map_or(rtt, |x: f64| x.min(rtt)));
+            }
+            if !any_path {
+                continue;
+            }
+            // Did at least one probe in the bin get through?
+            let stream = vp_stream
+                ^ ((task.far_ip.0 as u64) << 8)
+                ^ matches!(end, End::Far) as u64;
+            if !noise::bernoulli(net.seed ^ 0x7515, stream, b as u64, miss_prob) {
+                out[b as usize] = best;
+            }
+        }
+    }
+    TaskSeries {
+        near_ip: task.near_ip,
+        far_ip: task.far_ip,
+        link_label: task.link_label(),
+        from,
+        bin_secs,
+        near,
+        far,
+    }
+}
+
+/// The tsdb series key for one (vp, link, end).
+pub fn series_key(vp: &str, task: &TslpTask, end: End) -> SeriesKey {
+    SeriesKey::new(
+        "tslp",
+        TagSet::from_pairs([
+            ("vp", vp.to_string()),
+            ("link", task.link_label()),
+            ("end", end.tag().to_string()),
+        ]),
+    )
+}
+
+/// Build TSLP tasks from traceroutes, given the inferred interdomain links.
+///
+/// `links` are `(near_ip, far_ip)` pairs from border mapping;
+/// `in_neighbor_space(dst, far_ip)` says whether a destination lies in the
+/// link neighbor's address space (preferred, §3.1).
+pub fn select_targets(
+    traces: &[Traceroute],
+    links: &[(Ipv4, Ipv4)],
+    in_neighbor_space: impl Fn(Ipv4, Ipv4) -> bool,
+) -> Vec<TslpTask> {
+    let mut tasks = Vec::new();
+    for &(near_ip, far_ip) in links {
+        let mut preferred: Vec<TslpDest> = Vec::new();
+        let mut fallback: Vec<TslpDest> = Vec::new();
+        let mut flow_id = None;
+        for tr in traces {
+            let (Some(ni), Some(fi)) = (tr.hop_of(near_ip), tr.hop_of(far_ip)) else { continue };
+            if fi != ni + 1 {
+                continue;
+            }
+            let dest = TslpDest {
+                dst: tr.dst,
+                near_ttl: tr.hops[ni].ttl,
+                far_ttl: tr.hops[fi].ttl,
+            };
+            flow_id.get_or_insert(tr.flow_id);
+            if in_neighbor_space(tr.dst, far_ip) {
+                preferred.push(dest);
+            } else {
+                fallback.push(dest);
+            }
+        }
+        let mut dests = preferred;
+        dests.extend(fallback);
+        dests.dedup_by_key(|d| d.dst);
+        dests.truncate(3);
+        if !dests.is_empty() {
+            tasks.push(TslpTask {
+                near_ip,
+                far_ip,
+                dests,
+                flow_id: flow_id.unwrap_or(((near_ip.0 ^ far_ip.0) & 0xFFFF) as u16),
+            });
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ip: &str) -> Ipv4 {
+        ip.parse().unwrap()
+    }
+
+    fn mk_trace(dst: &str, hops: &[&str]) -> Traceroute {
+        Traceroute {
+            vp: "vp".into(),
+            dst: d(dst),
+            flow_id: 7,
+            t: 0,
+            hops: hops
+                .iter()
+                .enumerate()
+                .map(|(i, h)| crate::traceroute::TracerouteHop {
+                    ttl: (i + 1) as u8,
+                    addr: if h.is_empty() { None } else { Some(d(h)) },
+                    rtt_ms: Some(1.0),
+                })
+                .collect(),
+            reached: true,
+        }
+    }
+
+    #[test]
+    fn select_prefers_neighbor_space() {
+        let near = "10.0.1.9";
+        let far = "10.1.200.2";
+        let traces = vec![
+            mk_trace("10.9.0.1", &["10.0.0.1", near, far, "10.9.0.1"]), // not neighbor space
+            mk_trace("10.1.64.1", &["10.0.0.1", near, far, "10.1.64.1"]), // neighbor space
+        ];
+        let tasks = select_targets(&traces, &[(d(near), d(far))], |dst, _| {
+            dst.octets()[1] == 1
+        });
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].dests[0].dst, d("10.1.64.1"), "neighbor-space dest first");
+        assert_eq!(tasks[0].dests.len(), 2);
+        assert_eq!(tasks[0].dests[0].near_ttl, 2);
+        assert_eq!(tasks[0].dests[0].far_ttl, 3);
+    }
+
+    #[test]
+    fn select_requires_adjacent_hops() {
+        let traces = vec![mk_trace(
+            "10.9.0.1",
+            &["10.0.0.1", "10.0.1.9", "10.5.5.5", "10.1.200.2", "10.9.0.1"],
+        )];
+        let tasks =
+            select_targets(&traces, &[(d("10.0.1.9"), d("10.1.200.2"))], |_, _| false);
+        assert!(tasks.is_empty(), "non-adjacent near/far must not qualify");
+    }
+
+    #[test]
+    fn select_caps_at_three() {
+        let near = "10.0.1.9";
+        let far = "10.1.200.2";
+        let traces: Vec<Traceroute> = (0..6)
+            .map(|i| mk_trace(&format!("10.1.64.{i}"), &["10.0.0.1", near, far, &format!("10.1.64.{i}")]))
+            .collect();
+        let tasks = select_targets(&traces, &[(d(near), d(far))], |_, _| true);
+        assert_eq!(tasks[0].dests.len(), 3);
+    }
+
+    #[test]
+    fn update_targets_keeps_stable_dests() {
+        let vp = VpHandle { name: "vp".into(), router: manic_netsim::RouterId(0), addr: d("10.0.0.2") };
+        let mut prober = TslpProber::new(vp, 0);
+        let mk = |dsts: &[&str]| TslpTask {
+            near_ip: d("10.0.1.9"),
+            far_ip: d("10.1.200.2"),
+            dests: dsts
+                .iter()
+                .map(|s| TslpDest { dst: d(s), near_ttl: 2, far_ttl: 3 })
+                .collect(),
+            flow_id: 7,
+        };
+        prober.update_targets(vec![mk(&["10.1.64.1", "10.1.64.2", "10.1.64.3"])]);
+        // New cycle offers different candidates, with 64.2 still visible.
+        prober.update_targets(vec![mk(&["10.1.64.9", "10.1.64.2", "10.1.64.8"])]);
+        let dests: Vec<Ipv4> = prober.tasks[0].dests.iter().map(|d| d.dst).collect();
+        // 64.2 survives (and stays ordered before the new ones it precedes).
+        assert!(dests.contains(&d("10.1.64.2")));
+        assert_eq!(dests.len(), 3);
+        assert_eq!(prober.tasks[0].flow_id, 7, "flow id stable across cycles");
+    }
+
+    #[test]
+    fn series_key_shape() {
+        let task = TslpTask {
+            near_ip: d("10.0.1.9"),
+            far_ip: d("10.1.200.2"),
+            dests: vec![],
+            flow_id: 1,
+        };
+        let k = series_key("acme-nyc", &task, End::Far);
+        assert_eq!(k.to_string(), "tslp,end=far,link=10.1.200.2,vp=acme-nyc");
+    }
+}

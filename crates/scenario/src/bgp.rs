@@ -1,0 +1,358 @@
+//! Interdomain route computation under the Gao-Rexford conditions.
+//!
+//! For every destination AS we compute, at every other AS, the preferred
+//! next-hop AS using the standard policy model:
+//!
+//! * **Preference**: routes learned from customers beat routes learned from
+//!   peers beat routes learned from providers; ties break on shorter AS-path
+//!   length, then on lowest next-hop ASN (a deterministic stand-in for
+//!   router-id tie-breaking).
+//! * **Export (valley-free)**: an AS exports customer routes to everyone,
+//!   but routes learned from a peer or provider only to its customers.
+//!
+//! The result is the AS-level forwarding function that the router-level
+//! compiler (see [`crate::compile`]) turns into per-router FIBs, with
+//! hot-potato egress selection among the parallel links to the chosen
+//! next-hop AS.
+
+use crate::asgraph::{AsGraph, Neighborhood};
+use manic_netsim::AsNumber;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// How the selected route was learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RouteKind {
+    // Order matters: lower = more preferred.
+    /// Destination is the AS itself.
+    Origin,
+    /// Learned from a customer.
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider.
+    Provider,
+}
+
+/// Route selected by one AS toward one destination AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    pub kind: RouteKind,
+    /// AS-path length in AS hops (0 at the origin).
+    pub path_len: u32,
+    /// The neighbor the traffic is handed to (== self at the origin).
+    pub next_hop: AsNumber,
+}
+
+/// Complete routing state: `route(src, dst)` for all reachable pairs.
+#[derive(Debug, Default)]
+pub struct Routing {
+    /// dst -> (src -> route)
+    tables: HashMap<AsNumber, BTreeMap<AsNumber, Route>>,
+}
+
+impl Routing {
+    /// Compute routes for every destination in the graph.
+    pub fn compute(graph: &AsGraph) -> Self {
+        let mut tables = HashMap::new();
+        for dst in graph.ases() {
+            tables.insert(dst.asn, Self::compute_for(graph, dst.asn));
+        }
+        Routing { tables }
+    }
+
+    /// The route `src` uses toward `dst`, if reachable.
+    pub fn route(&self, src: AsNumber, dst: AsNumber) -> Option<Route> {
+        self.tables.get(&dst)?.get(&src).copied()
+    }
+
+    /// Next-hop AS from `src` toward `dst` (None at origin or unreachable).
+    pub fn next_as(&self, src: AsNumber, dst: AsNumber) -> Option<AsNumber> {
+        let r = self.route(src, dst)?;
+        if r.kind == RouteKind::Origin {
+            None
+        } else {
+            Some(r.next_hop)
+        }
+    }
+
+    /// Full AS path from `src` to `dst` (inclusive of both endpoints).
+    /// Panics on routing loops, which the Gao-Rexford computation cannot
+    /// produce; used heavily in tests.
+    pub fn as_path(&self, src: AsNumber, dst: AsNumber) -> Option<Vec<AsNumber>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let next = self.next_as(cur, dst)?;
+            assert!(!path.contains(&next), "routing loop at {next} toward {dst}");
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+
+    /// Per-destination table computation (three-phase BFS).
+    fn compute_for(graph: &AsGraph, dst: AsNumber) -> BTreeMap<AsNumber, Route> {
+        let mut best: BTreeMap<AsNumber, Route> = BTreeMap::new();
+        best.insert(dst, Route { kind: RouteKind::Origin, path_len: 0, next_hop: dst });
+
+        // Phase 1 — customer routes: propagate from dst upward along
+        // customer->provider edges. A provider learns the route from its
+        // customer and may re-export it upward (customer routes export to
+        // everyone). BFS by path length; ties broken by lowest next-hop ASN
+        // (we process neighbor offers in sorted order and only accept
+        // strictly better ones).
+        let mut queue = VecDeque::from([dst]);
+        while let Some(cur) = queue.pop_front() {
+            let cur_route = best[&cur];
+            let mut providers = graph.providers(cur);
+            providers.sort();
+            for p in providers {
+                let cand = Route {
+                    kind: RouteKind::Customer,
+                    path_len: cur_route.path_len + 1,
+                    next_hop: cur,
+                };
+                if Self::better(best.get(&p), cand) {
+                    best.insert(p, cand);
+                    queue.push_back(p);
+                }
+            }
+        }
+
+        // Phase 2 — peer routes: an AS adjacent via p2p to any AS holding a
+        // customer (or origin) route gets a one-hop-extended peer route.
+        // Peer routes are not re-exported to peers/providers, so no
+        // propagation beyond a single peering edge.
+        let holders: Vec<(AsNumber, Route)> =
+            best.iter().map(|(&a, &r)| (a, r)).collect();
+        for (holder, route) in holders {
+            if route.kind > RouteKind::Customer {
+                continue;
+            }
+            let mut peers = graph.peers(holder);
+            peers.sort();
+            for peer in peers {
+                let cand = Route {
+                    kind: RouteKind::Peer,
+                    path_len: route.path_len + 1,
+                    next_hop: holder,
+                };
+                if Self::better(best.get(&peer), cand) {
+                    best.insert(peer, cand);
+                }
+            }
+        }
+
+        // Phase 3 — provider routes: propagate downward along
+        // provider->customer edges from every AS that has any route. BFS in
+        // order of path length so shorter provider routes win.
+        let mut frontier: Vec<AsNumber> = best.keys().copied().collect();
+        frontier.sort_by_key(|a| (best[a].path_len, a.0));
+        let mut queue: VecDeque<AsNumber> = frontier.into();
+        while let Some(cur) = queue.pop_front() {
+            let cur_route = best[&cur];
+            let mut customers = graph.customers(cur);
+            customers.sort();
+            for c in customers {
+                let cand = Route {
+                    kind: RouteKind::Provider,
+                    path_len: cur_route.path_len + 1,
+                    next_hop: cur,
+                };
+                if Self::better(best.get(&c), cand) {
+                    best.insert(c, cand);
+                    queue.push_back(c);
+                }
+            }
+        }
+
+        best
+    }
+
+    /// Is `cand` strictly preferred over the incumbent?
+    fn better(incumbent: Option<&Route>, cand: Route) -> bool {
+        match incumbent {
+            None => true,
+            Some(inc) => {
+                (cand.kind, cand.path_len, cand.next_hop.0)
+                    < (inc.kind, inc.path_len, inc.next_hop.0)
+            }
+        }
+    }
+}
+
+/// Check that an AS path is valley-free and respects export rules:
+/// the path (from source to destination) must consist of zero or more
+/// customer->provider steps, at most one peer step, then zero or more
+/// provider->customer steps.
+pub fn is_valley_free(graph: &AsGraph, path: &[AsNumber]) -> bool {
+    #[derive(PartialEq, PartialOrd)]
+    enum Phase {
+        Up,
+        Peered,
+        Down,
+    }
+    let mut phase = Phase::Up;
+    for w in path.windows(2) {
+        let hood = graph
+            .neighbors(w[0])
+            .into_iter()
+            .find(|(n, _)| *n == w[1])
+            .map(|(_, h)| h);
+        let Some(hood) = hood else { return false };
+        match hood {
+            Neighborhood::Provider => {
+                // Going up is only allowed before any peer/down step.
+                if phase > Phase::Up {
+                    return false;
+                }
+            }
+            Neighborhood::Peer => {
+                if phase > Phase::Up {
+                    return false;
+                }
+                phase = Phase::Peered;
+            }
+            Neighborhood::Customer => {
+                phase = Phase::Down;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asgraph::{AsInfo, AsKind};
+
+    fn asn(n: u32) -> AsNumber {
+        AsNumber(n)
+    }
+
+    fn add(g: &mut AsGraph, n: u32, kind: AsKind) {
+        g.add_as(AsInfo {
+            asn: asn(n),
+            name: format!("as{n}"),
+            kind,
+            org: format!("org{n}"),
+            pops: vec!["nyc".into()],
+        });
+    }
+
+    /// Classic motif:
+    ///         T1 --- T2         (peers)
+    ///        /  \    |
+    ///      A     B   C          (A,B customers of T1; C customer of T2)
+    ///      |
+    ///      S                    (stub customer of A)
+    /// plus A peers with C.
+    fn world() -> AsGraph {
+        let mut g = AsGraph::new();
+        add(&mut g, 1, AsKind::Transit); // T1
+        add(&mut g, 2, AsKind::Transit); // T2
+        add(&mut g, 10, AsKind::AccessIsp); // A
+        add(&mut g, 11, AsKind::AccessIsp); // B
+        add(&mut g, 12, AsKind::Content); // C
+        add(&mut g, 20, AsKind::Stub); // S
+        g.add_p2p(asn(1), asn(2));
+        g.add_c2p(asn(10), asn(1));
+        g.add_c2p(asn(11), asn(1));
+        g.add_c2p(asn(12), asn(2));
+        g.add_c2p(asn(20), asn(10));
+        g.add_p2p(asn(10), asn(12));
+        g
+    }
+
+    #[test]
+    fn customer_routes_preferred() {
+        let g = world();
+        let r = Routing::compute(&g);
+        // T1 reaches S via its customer A (customer route), not any other way.
+        let route = r.route(asn(1), asn(20)).unwrap();
+        assert_eq!(route.kind, RouteKind::Customer);
+        assert_eq!(route.next_hop, asn(10));
+        assert_eq!(r.as_path(asn(1), asn(20)).unwrap(), vec![asn(1), asn(10), asn(20)]);
+    }
+
+    #[test]
+    fn peer_route_beats_provider_route() {
+        let g = world();
+        let r = Routing::compute(&g);
+        // A -> C: direct peering (peer route, len 1) beats A->T1->T2->C
+        // (provider route, len 3).
+        let route = r.route(asn(10), asn(12)).unwrap();
+        assert_eq!(route.kind, RouteKind::Peer);
+        assert_eq!(route.next_hop, asn(12));
+    }
+
+    #[test]
+    fn provider_route_as_last_resort() {
+        let g = world();
+        let r = Routing::compute(&g);
+        // B -> C must go up to T1, across the T1-T2 peering, down to C.
+        let path = r.as_path(asn(11), asn(12)).unwrap();
+        assert_eq!(path, vec![asn(11), asn(1), asn(2), asn(12)]);
+        assert_eq!(r.route(asn(11), asn(12)).unwrap().kind, RouteKind::Provider);
+    }
+
+    #[test]
+    fn no_valley_paths() {
+        let g = world();
+        let r = Routing::compute(&g);
+        let all: Vec<AsNumber> = g.ases().map(|i| i.asn).collect();
+        for &src in &all {
+            for &dst in &all {
+                if src == dst {
+                    continue;
+                }
+                let path = r.as_path(src, dst).expect("connected world");
+                assert!(is_valley_free(&g, &path), "valley in {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn peer_routes_not_transited() {
+        let g = world();
+        let r = Routing::compute(&g);
+        // S -> C: S's provider A has a peer route to C, which A exports to
+        // its customer S. Path S-A-C.
+        assert_eq!(r.as_path(asn(20), asn(12)).unwrap(), vec![asn(20), asn(10), asn(12)]);
+        // But T1 must NOT route to C via its customer A's peering (A would
+        // not export a peer route to its provider): T1 goes via T2.
+        assert_eq!(r.as_path(asn(1), asn(12)).unwrap(), vec![asn(1), asn(2), asn(12)]);
+    }
+
+    #[test]
+    fn origin_route() {
+        let g = world();
+        let r = Routing::compute(&g);
+        let route = r.route(asn(10), asn(10)).unwrap();
+        assert_eq!(route.kind, RouteKind::Origin);
+        assert_eq!(r.next_as(asn(10), asn(10)), None);
+    }
+
+    #[test]
+    fn disconnected_pair_unreachable() {
+        let mut g = world();
+        add(&mut g, 99, AsKind::Stub);
+        let r = Routing::compute(&g);
+        assert!(r.route(asn(10), asn(99)).is_none());
+        assert!(r.as_path(asn(10), asn(99)).is_none());
+    }
+
+    #[test]
+    fn valley_detector_rejects_valleys() {
+        let g = world();
+        // B -> T1 -> A -> S is fine (up, down, down)...
+        assert!(is_valley_free(&g, &[asn(11), asn(1), asn(10), asn(20)]));
+        // ...but A -> T1 -> B is up then down: fine too.
+        assert!(is_valley_free(&g, &[asn(10), asn(1), asn(11)]));
+        // S -> A -> C -> T2: peer step then *up* — a valley.
+        assert!(!is_valley_free(&g, &[asn(20), asn(10), asn(12), asn(2)]));
+        // T2 -> T1 -> T2? unknown edge direction repeats — not adjacent twice.
+        // A -> C -> T2 -> T1: peer then up — valley.
+        assert!(!is_valley_free(&g, &[asn(10), asn(12), asn(2)]));
+    }
+}

@@ -1,0 +1,36 @@
+//! Internet scenarios for manic-rs.
+//!
+//! The production system measures the real Internet from vantage points
+//! hosted in access ISPs. This crate builds the synthetic equivalent:
+//!
+//! 1. an **AS-level graph** with business relationships
+//!    (customer-to-provider, settlement-free peering, siblings) and address
+//!    space ([`asgraph`]);
+//! 2. **interdomain routing** over that graph following the Gao-Rexford
+//!    conditions — prefer customer routes over peer over provider, export
+//!    only valley-free paths ([`bgp`]);
+//! 3. a **router-level compilation** into a `manic_netsim::Network`: PoP
+//!    backbone meshes, border routers per adjacency and metro, interdomain
+//!    /30s, host prefixes, VP hosts, and hot-potato FIBs ([`compile`]);
+//! 4. the **input artifacts** the bdrmap algorithm consumes in production —
+//!    prefix-to-AS table, AS relationship file, IXP prefix list, sibling
+//!    lists, AS-to-organization map ([`artifacts`]);
+//! 5. concrete **worlds**: `us_broadband()` mirrors the paper's §6 study
+//!    population (8 U.S. access ISPs, the 9 frequently-congested transit and
+//!    content providers of Table 4, and a 22-month congestion schedule), and
+//!    `toy()` is a minutes-scale world for tests and the quickstart example
+//!    ([`worlds`]).
+
+pub mod addressing;
+pub mod artifacts;
+pub mod asgraph;
+pub mod bgp;
+pub mod compile;
+pub mod schedule;
+pub mod worlds;
+
+pub use artifacts::Artifacts;
+pub use asgraph::{AsGraph, AsInfo, AsKind, RelKind};
+pub use bgp::{RouteKind, Routing};
+pub use compile::{CompileConfig, GtLink, VantagePoint, World};
+pub use schedule::{amplitude_for_duration, CongestionEpisode};

@@ -1,0 +1,108 @@
+//! Autocovariance and autocorrelation.
+//!
+//! §4.2's method is built on the idea of day-over-day self-similarity at a
+//! 24-hour lag. While the production algorithm counts elevated intervals
+//! rather than computing a literal ACF, the ACF at the diurnal lag is a
+//! useful diagnostic (and is exercised by the §7 return-path correlation
+//! extension), so we provide the classical estimators here.
+
+use crate::describe::mean;
+
+/// Biased (1/n-normalized) sample autocovariance at lag `k`.
+///
+/// Returns NaN when `k >= xs.len()`.
+pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if k >= n {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let mut s = 0.0;
+    for i in 0..n - k {
+        s += (xs[i] - m) * (xs[i + k] - m);
+    }
+    s / n as f64
+}
+
+/// Sample autocorrelation at lag `k` (autocovariance normalized by lag 0).
+///
+/// Returns NaN for a constant series (zero variance) or when `k >= xs.len()`.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    let c0 = autocovariance(xs, 0);
+    if !(c0 > 0.0) {
+        return f64::NAN;
+    }
+    autocovariance(xs, k) / c0
+}
+
+/// Pearson correlation between two equal-length series.
+///
+/// §7 proposes "a simple correlation between two TSLP time-series" as an
+/// indicator that return traffic from two targets shared a congested path.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    let n = a.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = a[i] - ma;
+        let xb = b[i] - mb;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if !(da > 0.0) || !(db > 0.0) {
+        return f64::NAN;
+    }
+    num / (da.sqrt() * db.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_signal_correlates_at_period() {
+        // Period-24 square-ish wave: strong ACF at lag 24, weak at lag 12.
+        let xs: Vec<f64> = (0..24 * 20)
+            .map(|i| if (i % 24) < 8 { 10.0 } else { 0.0 })
+            .collect();
+        let r24 = autocorrelation(&xs, 24);
+        let r12 = autocorrelation(&xs, 12);
+        assert!(r24 > 0.9, "r24={r24}");
+        assert!(r12 < r24 - 0.5, "r12={r12}");
+    }
+
+    #[test]
+    fn constant_series_is_nan() {
+        assert!(autocorrelation(&[3.0; 10], 1).is_nan());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 1.0).collect();
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        let a: Vec<f64> = (0..1000).map(|i| (i * 2654435761u64 % 1000) as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| ((i + 500) * 40503 % 997) as f64).collect();
+        assert!(pearson(&a, &b).abs() < 0.2);
+    }
+}

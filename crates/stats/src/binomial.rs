@@ -1,0 +1,108 @@
+//! Binomial proportion tests.
+//!
+//! §5.1 evaluates each month-link with "the binomial proportion test
+//! (requiring p < 0.05)": are losses (successes) proportionally more frequent
+//! in one condition than another? We implement the standard two-proportion
+//! pooled z-test, which is what operational loss-rate comparisons use.
+
+use crate::special::normal_cdf;
+use crate::ttest::Tails;
+
+/// Result of a two-proportion z-test.
+#[derive(Debug, Clone, Copy)]
+pub struct ProportionTest {
+    /// z statistic (positive when sample 1's proportion is larger).
+    pub z: f64,
+    /// p-value under the chosen alternative.
+    pub p: f64,
+    /// Estimated proportion in sample 1 (successes1 / trials1).
+    pub p1: f64,
+    /// Estimated proportion in sample 2.
+    pub p2: f64,
+}
+
+impl ProportionTest {
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p < alpha
+    }
+}
+
+/// Two-proportion pooled z-test of H0: p1 == p2.
+///
+/// `successes*` must not exceed `trials*`. Returns `None` when either trial
+/// count is zero or the pooled proportion is degenerate (all successes or all
+/// failures across both samples), where the z statistic is undefined.
+pub fn two_proportion_z_test(
+    successes1: u64,
+    trials1: u64,
+    successes2: u64,
+    trials2: u64,
+    tails: Tails,
+) -> Option<ProportionTest> {
+    assert!(successes1 <= trials1 && successes2 <= trials2, "successes exceed trials");
+    if trials1 == 0 || trials2 == 0 {
+        return None;
+    }
+    let n1 = trials1 as f64;
+    let n2 = trials2 as f64;
+    let p1 = successes1 as f64 / n1;
+    let p2 = successes2 as f64 / n2;
+    let pooled = (successes1 + successes2) as f64 / (n1 + n2);
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+    if !(var > 0.0) {
+        return None;
+    }
+    let z = (p1 - p2) / var.sqrt();
+    let p = match tails {
+        Tails::TwoSided => 2.0 * normal_cdf(-z.abs()),
+        Tails::Greater => 1.0 - normal_cdf(z),
+        Tails::Less => normal_cdf(z),
+    }
+    .clamp(0.0, 1.0);
+    Some(ProportionTest { z, p, p1, p2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_proportions_not_significant() {
+        let t = two_proportion_z_test(50, 1000, 50, 1000, Tails::TwoSided).unwrap();
+        assert!((t.z).abs() < 1e-12);
+        assert!(t.p > 0.99);
+    }
+
+    #[test]
+    fn clear_difference_is_significant() {
+        // 10% vs 1% loss over 3000 probes each: overwhelming.
+        let t = two_proportion_z_test(300, 3000, 30, 3000, Tails::Greater).unwrap();
+        assert!(t.significant(0.001));
+        assert!(t.z > 0.0);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let g = two_proportion_z_test(10, 100, 40, 100, Tails::Greater).unwrap();
+        let l = two_proportion_z_test(10, 100, 40, 100, Tails::Less).unwrap();
+        assert!(!g.significant(0.05));
+        assert!(l.significant(0.001));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(two_proportion_z_test(0, 0, 1, 10, Tails::TwoSided).is_none());
+        assert!(two_proportion_z_test(0, 10, 0, 10, Tails::TwoSided).is_none());
+        assert!(two_proportion_z_test(10, 10, 10, 10, Tails::TwoSided).is_none());
+    }
+
+    #[test]
+    fn matches_hand_computed_z() {
+        // p1=0.2 (20/100), p2=0.1 (10/100), pooled=0.15
+        // se = sqrt(0.15*0.85*(0.02)) = sqrt(0.00255) ≈ 0.050497
+        // z ≈ 0.1/0.050497 ≈ 1.9803
+        let t = two_proportion_z_test(20, 100, 10, 100, Tails::TwoSided).unwrap();
+        assert!((t.z - 1.9803).abs() < 1e-3, "z={}", t.z);
+        assert!((t.p - 0.0477).abs() < 1e-3, "p={}", t.p);
+    }
+}

@@ -1,0 +1,185 @@
+//! CUSUM-style change-point scanning.
+//!
+//! The paper's level-shift heuristic "is based on CUSUM" (§4.1, citing
+//! Taylor's change-point analysis). This module provides the generic
+//! machinery: a cumulative-sum scan that locates the most likely mean shift
+//! in a window, plus a recursive segmentation that finds multiple change
+//! points. The paper-specific policy (minimum duration l/2, Huber weights,
+//! t-test significance) lives in `manic-inference::levelshift` on top of this.
+
+use crate::describe::mean;
+
+/// A detected change point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePoint {
+    /// Index of the first sample of the new regime.
+    pub index: usize,
+    /// Mean before the change (over the scanned segment).
+    pub mean_before: f64,
+    /// Mean after the change.
+    pub mean_after: f64,
+    /// Magnitude of the CUSUM excursion that flagged the change
+    /// (max |S_i| of the centered cumulative sum).
+    pub magnitude: f64,
+}
+
+impl ChangePoint {
+    /// Signed size of the shift.
+    pub fn delta(&self) -> f64 {
+        self.mean_after - self.mean_before
+    }
+}
+
+/// Locate the single strongest candidate change point in `xs` with optional
+/// per-sample weights (Huber weights in the paper's use).
+///
+/// The scan computes the weighted centered cumulative sum
+/// `S_i = Σ_{j<=i} w_j (x_j - x̄_w)` and returns the index after the extremum
+/// of |S| — the classical CUSUM estimate of the shift location. Returns
+/// `None` for series shorter than 4 samples (no room for two regimes of 2).
+pub fn cusum_scan(xs: &[f64], weights: Option<&[f64]>) -> Option<ChangePoint> {
+    let n = xs.len();
+    if n < 4 {
+        return None;
+    }
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "weights length must match samples");
+    }
+    let wsum: f64 = match weights {
+        Some(w) => w.iter().sum(),
+        None => n as f64,
+    };
+    if !(wsum > 0.0) {
+        return None;
+    }
+    let wmean: f64 = match weights {
+        Some(w) => xs.iter().zip(w).map(|(x, w)| x * w).sum::<f64>() / wsum,
+        None => mean(xs),
+    };
+    let mut s = 0.0;
+    let mut best_abs = 0.0;
+    let mut best_i = 0usize;
+    for i in 0..n {
+        let w = weights.map_or(1.0, |w| w[i]);
+        s += w * (xs[i] - wmean);
+        if s.abs() > best_abs {
+            best_abs = s.abs();
+            best_i = i;
+        }
+    }
+    // The change begins after the extremum.
+    let split = best_i + 1;
+    if split == 0 || split >= n {
+        return None;
+    }
+    let regime_mean = |lo: usize, hi: usize| -> f64 {
+        match weights {
+            None => mean(&xs[lo..hi]),
+            Some(w) => {
+                let ws: f64 = w[lo..hi].iter().sum();
+                if ws > 0.0 {
+                    xs[lo..hi].iter().zip(&w[lo..hi]).map(|(x, w)| x * w).sum::<f64>() / ws
+                } else {
+                    mean(&xs[lo..hi])
+                }
+            }
+        }
+    };
+    Some(ChangePoint {
+        index: split,
+        mean_before: regime_mean(0, split),
+        mean_after: regime_mean(split, n),
+        magnitude: best_abs,
+    })
+}
+
+/// Recursively segment `xs` into regimes using CUSUM, keeping only change
+/// points whose |delta| >= `min_delta` and whose regimes are at least
+/// `min_len` samples long. Returns change-point indices in increasing order.
+pub fn segment(xs: &[f64], min_delta: f64, min_len: usize) -> Vec<ChangePoint> {
+    let mut out = Vec::new();
+    segment_rec(xs, 0, min_delta, min_len.max(2), &mut out);
+    out.sort_by_key(|c| c.index);
+    out
+}
+
+fn segment_rec(xs: &[f64], offset: usize, min_delta: f64, min_len: usize, out: &mut Vec<ChangePoint>) {
+    if xs.len() < 2 * min_len {
+        return;
+    }
+    let Some(cp) = cusum_scan(xs, None) else { return };
+    if cp.index < min_len || xs.len() - cp.index < min_len || cp.delta().abs() < min_delta {
+        return;
+    }
+    let split = cp.index;
+    segment_rec(&xs[..split], offset, min_delta, min_len, out);
+    out.push(ChangePoint { index: offset + split, ..cp });
+    segment_rec(&xs[split..], offset + split, min_delta, min_len, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_series(n1: usize, n2: usize, a: f64, b: f64) -> Vec<f64> {
+        // Small deterministic ripple avoids zero variance.
+        (0..n1)
+            .map(|i| a + (i % 3) as f64 * 0.01)
+            .chain((0..n2).map(|i| b + (i % 3) as f64 * 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn finds_planted_shift() {
+        let xs = step_series(50, 50, 10.0, 20.0);
+        let cp = cusum_scan(&xs, None).unwrap();
+        assert!((cp.index as i64 - 50).abs() <= 1, "found {}", cp.index);
+        assert!(cp.delta() > 9.0);
+    }
+
+    #[test]
+    fn no_shift_in_constant_series() {
+        let xs = vec![5.0; 20];
+        let cp = cusum_scan(&xs, None);
+        // A constant series yields zero magnitude; location is arbitrary but
+        // magnitude tells the caller there is nothing there.
+        if let Some(cp) = cp {
+            assert_eq!(cp.magnitude, 0.0);
+            assert_eq!(cp.delta(), 0.0);
+        }
+    }
+
+    #[test]
+    fn weights_suppress_outliers() {
+        // Level series with one huge spike; with downweighted spike, the scan
+        // should not report a large delta at the spike.
+        let mut xs = vec![10.0; 40];
+        xs[20] = 200.0;
+        let mut w = vec![1.0; 40];
+        w[20] = 0.01;
+        let cp = cusum_scan(&xs, Some(&w)).unwrap();
+        // Regimes on each side of any split still average close to 10.
+        assert!(cp.delta().abs() < 6.0, "delta {}", cp.delta());
+    }
+
+    #[test]
+    fn segment_finds_two_shifts() {
+        let mut xs = step_series(40, 40, 10.0, 20.0);
+        xs.extend(step_series(0, 40, 0.0, 10.0));
+        let cps = segment(&xs, 4.0, 6);
+        assert_eq!(cps.len(), 2, "{cps:?}");
+        assert!((cps[0].index as i64 - 40).abs() <= 2);
+        assert!((cps[1].index as i64 - 80).abs() <= 2);
+    }
+
+    #[test]
+    fn segment_respects_min_delta() {
+        let xs = step_series(40, 40, 10.0, 10.5);
+        assert!(segment(&xs, 2.0, 6).is_empty());
+    }
+
+    #[test]
+    fn short_series_returns_none() {
+        assert!(cusum_scan(&[1.0, 2.0, 3.0], None).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Descriptive statistics: mean, variance, quantiles, empirical CDFs.
+
+/// Arithmetic mean. Returns NaN for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (divides by n-1). Returns NaN for n < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Median (quantile 0.5).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7 / the NumPy default). `q` must be in [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Empirical CDF evaluated at the sorted sample points.
+///
+/// Returns `(sorted values, cumulative probabilities)`; probabilities use the
+/// convention `P(X <= x_(i)) = (i+1)/n`. Useful for rendering Figure-4-style
+/// CDF plots as text or CSV.
+pub fn ecdf(xs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = sorted.len() as f64;
+    let probs = (0..sorted.len()).map(|i| (i + 1) as f64 / n).collect();
+    (sorted, probs)
+}
+
+/// One-pass numeric summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub var: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary; NaN fields for degenerate inputs (n == 0 or n == 1
+    /// for the variance).
+    pub fn of(xs: &[f64]) -> Self {
+        let n = xs.len();
+        let mean = mean(xs);
+        let var = variance(xs);
+        let (min, max) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+        Summary {
+            n,
+            mean,
+            var,
+            min: if n == 0 { f64::NAN } else { min },
+            max: if n == 0 { f64::NAN } else { max },
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        // Sum of squared deviations = 32, n-1 = 7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_monotone() {
+        let (vals, probs) = ecdf(&[5.0, 1.0, 3.0]);
+        assert_eq!(vals, vec![1.0, 3.0, 5.0]);
+        assert_eq!(probs.last().copied(), Some(1.0));
+        assert!(probs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.sd() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Ordinary least squares on (x, y) pairs.
+//!
+//! Used for trend extraction in the longitudinal analysis (§6.2's "patterns
+//! of rising and declining congestion") and as a helper in tests.
+
+/// Result of a simple linear regression y = intercept + slope * x.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fit a line by ordinary least squares. Returns `None` when fewer than two
+/// points are given or all x values coincide.
+pub fn ols(xs: &[f64], ys: &[f64]) -> Option<OlsFit> {
+    assert_eq!(xs.len(), ys.len(), "ols requires equal-length inputs");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if !(sxx > 0.0) {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    Some(OlsFit { slope, intercept, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 0.5 * x + 10.0 + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ols(&[1.0], &[2.0]).is_none());
+        assert!(ols(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Series identification: measurement name + sorted tag set.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered set of `tag=value` pairs.
+///
+/// Tags are kept sorted by key so that two tag sets with the same contents
+/// compare and hash identically regardless of insertion order (InfluxDB
+/// semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct TagSet(Vec<(String, String)>);
+
+impl TagSet {
+    pub fn new() -> Self {
+        TagSet(Vec::new())
+    }
+
+    /// Build from any iterator of pairs; later duplicates overwrite earlier.
+    pub fn from_pairs<I, K, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        let mut ts = TagSet::new();
+        for (k, v) in pairs {
+            ts.insert(k, v);
+        }
+        ts
+    }
+
+    /// Insert or overwrite a tag.
+    pub fn insert<K: Into<String>, V: Into<String>>(&mut self, key: K, value: V) {
+        let key = key.into();
+        let value = value.into();
+        match self.0.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (key, value)),
+        }
+    }
+
+    /// Look up a tag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.0[i].1.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// True when every `(key, value)` in `other` is present in `self`.
+    pub fn matches(&self, other: &TagSet) -> bool {
+        other.iter().all(|(k, v)| self.get(k) == Some(v))
+    }
+}
+
+impl fmt::Display for TagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fully-qualified series identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesKey {
+    pub measurement: String,
+    pub tags: TagSet,
+}
+
+impl SeriesKey {
+    pub fn new<M: Into<String>>(measurement: M, tags: TagSet) -> Self {
+        SeriesKey { measurement: measurement.into(), tags }
+    }
+
+    /// Convenience constructor from pair slices.
+    pub fn with_tags<M: Into<String>>(measurement: M, pairs: &[(&str, &str)]) -> Self {
+        SeriesKey {
+            measurement: measurement.into(),
+            tags: TagSet::from_pairs(pairs.iter().map(|&(k, v)| (k, v))),
+        }
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.measurement)?;
+        if !self.tags.is_empty() {
+            write!(f, ",{}", self.tags)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagset_sorted_and_deduped() {
+        let mut t = TagSet::new();
+        t.insert("z", "1");
+        t.insert("a", "2");
+        t.insert("z", "3");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("z"), Some("3"));
+        assert_eq!(t.to_string(), "a=2,z=3");
+    }
+
+    #[test]
+    fn insertion_order_irrelevant() {
+        let a = TagSet::from_pairs([("vp", "x"), ("link", "L1")]);
+        let b = TagSet::from_pairs([("link", "L1"), ("vp", "x")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_is_subset_semantics() {
+        let series = TagSet::from_pairs([("vp", "x"), ("link", "L1"), ("end", "far")]);
+        let filter = TagSet::from_pairs([("link", "L1")]);
+        assert!(series.matches(&filter));
+        let wrong = TagSet::from_pairs([("link", "L2")]);
+        assert!(!series.matches(&wrong));
+        assert!(series.matches(&TagSet::new()));
+    }
+
+    #[test]
+    fn series_key_display() {
+        let k = SeriesKey::with_tags("tslp", &[("vp", "a"), ("end", "far")]);
+        assert_eq!(k.to_string(), "tslp,end=far,vp=a");
+        let bare = SeriesKey::new("loss", TagSet::new());
+        assert_eq!(bare.to_string(), "loss");
+    }
+}

@@ -1,0 +1,28 @@
+//! Embedded tagged time-series store.
+//!
+//! The production system described in the paper stores all measurements in
+//! InfluxDB and visualizes them through Grafana (§3, Figure 1). For a
+//! self-contained reproduction we implement the part of that stack the
+//! pipeline actually depends on:
+//!
+//! * tagged series — a measurement name plus a sorted tag set identifies a
+//!   series (`tslp, vp=ark-bed-us, link=L17, end=far`);
+//! * append-mostly ingestion of `(timestamp, f64)` points, including a
+//!   line-protocol parser for textual ingest;
+//! * range queries and bin downsampling (`min` per 5/15-minute bin is the
+//!   pre-processing step of both inference algorithms, §4.1/§4.2);
+//! * retention trimming and CSV/JSON export (the public-data release story
+//!   of §1's contribution 4).
+//!
+//! The store is sharded and guarded by `parking_lot::RwLock`, so concurrent
+//! measurement threads can ingest while analysis reads.
+
+pub mod key;
+pub mod lineproto;
+pub mod series;
+pub mod store;
+
+pub use key::{SeriesKey, TagSet};
+pub use lineproto::{format_line, parse_line, LineProtoError};
+pub use series::{Aggregate, Point, Series};
+pub use store::{Store, TagFilter};

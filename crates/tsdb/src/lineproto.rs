@@ -1,0 +1,128 @@
+//! A minimal line protocol, mirroring InfluxDB's textual ingest format:
+//!
+//! ```text
+//! measurement[,tag=value...] value=<f64> <timestamp-seconds>
+//! ```
+//!
+//! Only the single field `value` is supported — every measurement in the
+//! pipeline is a scalar sample (an RTT, a loss indicator, a throughput).
+
+use crate::key::{SeriesKey, TagSet};
+use crate::series::Point;
+use std::fmt;
+
+/// Parse failure for a protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineProtoError {
+    /// The line does not have the three space-separated sections.
+    MissingSection,
+    /// A tag was not of the form `key=value`.
+    BadTag(String),
+    /// The field section was not `value=<f64>`.
+    BadField(String),
+    /// The timestamp was not an integer.
+    BadTimestamp(String),
+    /// Empty measurement name.
+    EmptyMeasurement,
+}
+
+impl fmt::Display for LineProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineProtoError::MissingSection => write!(f, "expected 'key field timestamp' sections"),
+            LineProtoError::BadTag(t) => write!(f, "malformed tag: {t}"),
+            LineProtoError::BadField(x) => write!(f, "malformed field: {x}"),
+            LineProtoError::BadTimestamp(x) => write!(f, "malformed timestamp: {x}"),
+            LineProtoError::EmptyMeasurement => write!(f, "empty measurement name"),
+        }
+    }
+}
+
+impl std::error::Error for LineProtoError {}
+
+/// Parse one protocol line into a series key and a point.
+pub fn parse_line(line: &str) -> Result<(SeriesKey, Point), LineProtoError> {
+    let mut sections = line.split_whitespace();
+    let keypart = sections.next().ok_or(LineProtoError::MissingSection)?;
+    let fieldpart = sections.next().ok_or(LineProtoError::MissingSection)?;
+    let tspart = sections.next().ok_or(LineProtoError::MissingSection)?;
+    if sections.next().is_some() {
+        return Err(LineProtoError::MissingSection);
+    }
+
+    let mut key_iter = keypart.split(',');
+    let measurement = key_iter.next().unwrap_or_default();
+    if measurement.is_empty() {
+        return Err(LineProtoError::EmptyMeasurement);
+    }
+    let mut tags = TagSet::new();
+    for tag in key_iter {
+        let (k, v) = tag
+            .split_once('=')
+            .ok_or_else(|| LineProtoError::BadTag(tag.to_string()))?;
+        if k.is_empty() || v.is_empty() {
+            return Err(LineProtoError::BadTag(tag.to_string()));
+        }
+        tags.insert(k, v);
+    }
+
+    let value = fieldpart
+        .strip_prefix("value=")
+        .ok_or_else(|| LineProtoError::BadField(fieldpart.to_string()))?
+        .parse::<f64>()
+        .map_err(|_| LineProtoError::BadField(fieldpart.to_string()))?;
+
+    let t = tspart
+        .parse::<i64>()
+        .map_err(|_| LineProtoError::BadTimestamp(tspart.to_string()))?;
+
+    Ok((SeriesKey::new(measurement, tags), Point::new(t, value)))
+}
+
+/// Format a key + point as a protocol line (inverse of [`parse_line`]).
+pub fn format_line(key: &SeriesKey, point: Point) -> String {
+    format!("{} value={} {}", key, point.v, point.t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_line() {
+        let (key, p) = parse_line("tslp,vp=ark1,link=L3,end=far value=42.5 1456790400").unwrap();
+        assert_eq!(key.measurement, "tslp");
+        assert_eq!(key.tags.get("vp"), Some("ark1"));
+        assert_eq!(key.tags.get("end"), Some("far"));
+        assert_eq!(p.t, 1456790400);
+        assert_eq!(p.v, 42.5);
+    }
+
+    #[test]
+    fn parse_without_tags() {
+        let (key, p) = parse_line("loss value=0.01 5").unwrap();
+        assert!(key.tags.is_empty());
+        assert_eq!(p.v, 0.01);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = SeriesKey::with_tags("tslp", &[("vp", "a"), ("link", "L1")]);
+        let p = Point::new(123, 9.25);
+        let line = format_line(&key, p);
+        let (k2, p2) = parse_line(&line).unwrap();
+        assert_eq!(key, k2);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(parse_line("justonething"), Err(LineProtoError::MissingSection));
+        assert!(matches!(parse_line("m,badtag value=1 0"), Err(LineProtoError::BadTag(_))));
+        assert!(matches!(parse_line("m notvalue=1 0"), Err(LineProtoError::BadField(_))));
+        assert!(matches!(parse_line("m value=abc 0"), Err(LineProtoError::BadField(_))));
+        assert!(matches!(parse_line("m value=1 notatime"), Err(LineProtoError::BadTimestamp(_))));
+        assert_eq!(parse_line(",x=1 value=1 0"), Err(LineProtoError::EmptyMeasurement));
+        assert_eq!(parse_line("m value=1 0 extra"), Err(LineProtoError::MissingSection));
+    }
+}

@@ -1,0 +1,229 @@
+//! A single time series: sorted `(timestamp, value)` points plus
+//! range/downsampling queries.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Seconds since the simulation epoch.
+    pub t: i64,
+    pub v: f64,
+}
+
+impl Point {
+    pub fn new(t: i64, v: f64) -> Self {
+        Point { t, v }
+    }
+}
+
+/// Bin aggregation function for downsampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Minimum — the paper's outlier filter ("we select the minimum latency
+    /// in a time bin", §4.1/§4.2).
+    Min,
+    Max,
+    Mean,
+    Sum,
+    Count,
+    Last,
+}
+
+impl Aggregate {
+    fn apply(self, vals: &[f64]) -> f64 {
+        debug_assert!(!vals.is_empty());
+        match self {
+            Aggregate::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+            Aggregate::Sum => vals.iter().sum(),
+            Aggregate::Count => vals.len() as f64,
+            Aggregate::Last => *vals.last().expect("non-empty"),
+        }
+    }
+}
+
+/// An append-mostly series kept sorted by timestamp.
+///
+/// Appends at or after the current tail are O(1); out-of-order inserts fall
+/// back to a binary-search insert. Duplicate timestamps are allowed (TSLP
+/// probes to three destinations in the same round legitimately share a bin).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    points: Vec<Point>,
+}
+
+impl Series {
+    pub fn new() -> Self {
+        Series { points: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Insert a sample, keeping the series sorted.
+    pub fn push(&mut self, t: i64, v: f64) {
+        if self.points.last().is_none_or(|p| p.t <= t) {
+            self.points.push(Point::new(t, v));
+        } else {
+            let i = self.points.partition_point(|p| p.t <= t);
+            self.points.insert(i, Point::new(t, v));
+        }
+    }
+
+    /// All points with `start <= t < end`.
+    pub fn range(&self, start: i64, end: i64) -> &[Point] {
+        let lo = self.points.partition_point(|p| p.t < start);
+        let hi = self.points.partition_point(|p| p.t < end);
+        &self.points[lo..hi]
+    }
+
+    /// Every point.
+    pub fn all(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// First/last timestamps, if any.
+    pub fn span(&self) -> Option<(i64, i64)> {
+        Some((self.points.first()?.t, self.points.last()?.t))
+    }
+
+    /// Downsample the half-open window `[start, end)` into bins of
+    /// `bin_secs`, applying `agg` per bin. Empty bins yield no output point.
+    ///
+    /// Output timestamps are the *start* of each bin, aligned to
+    /// `start + k*bin_secs`.
+    pub fn downsample(&self, start: i64, end: i64, bin_secs: i64, agg: Aggregate) -> Vec<Point> {
+        assert!(bin_secs > 0, "bin size must be positive");
+        let pts = self.range(start, end);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < pts.len() {
+            let bin_idx = (pts[i].t - start) / bin_secs;
+            let bin_start = start + bin_idx * bin_secs;
+            let bin_end = bin_start + bin_secs;
+            let mut vals = Vec::new();
+            while i < pts.len() && pts[i].t < bin_end {
+                vals.push(pts[i].v);
+                i += 1;
+            }
+            out.push(Point::new(bin_start, agg.apply(&vals)));
+        }
+        out
+    }
+
+    /// Downsample like [`Self::downsample`], but emit one entry per bin over
+    /// the whole window, with `None` for empty bins. This is what the
+    /// autocorrelation algorithm consumes: it must know which 15-minute
+    /// intervals had no data at all.
+    pub fn downsample_dense(
+        &self,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+        agg: Aggregate,
+    ) -> Vec<Option<f64>> {
+        assert!(bin_secs > 0, "bin size must be positive");
+        assert!(end >= start);
+        let nbins = ((end - start) + bin_secs - 1) / bin_secs;
+        let mut out = vec![None; nbins as usize];
+        for p in self.downsample(start, end, bin_secs, agg) {
+            let idx = ((p.t - start) / bin_secs) as usize;
+            out[idx] = Some(p.v);
+        }
+        out
+    }
+
+    /// Drop all points with `t < cutoff`; returns how many were removed.
+    pub fn trim_before(&mut self, cutoff: i64) -> usize {
+        let keep_from = self.points.partition_point(|p| p.t < cutoff);
+        self.points.drain(..keep_from).count()
+    }
+
+    /// Values only, over a range (utility for feeding statistics).
+    pub fn values_in(&self, start: i64, end: i64) -> Vec<f64> {
+        self.range(start, end).iter().map(|p| p.v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(i64, f64)]) -> Series {
+        let mut s = Series::new();
+        for &(t, v) in pts {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_keeps_sorted_with_out_of_order_inserts() {
+        let s = series(&[(10, 1.0), (5, 2.0), (20, 3.0), (15, 4.0)]);
+        let ts: Vec<i64> = s.all().iter().map(|p| p.t).collect();
+        assert_eq!(ts, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let s = series(&[(0, 0.0), (5, 1.0), (10, 2.0)]);
+        let r = s.range(0, 10);
+        assert_eq!(r.len(), 2);
+        assert_eq!(s.range(5, 11).len(), 2);
+        assert_eq!(s.range(11, 20).len(), 0);
+    }
+
+    #[test]
+    fn downsample_min_picks_bin_minimum() {
+        let s = series(&[(0, 5.0), (100, 3.0), (200, 9.0), (300, 1.0), (400, 2.0)]);
+        let bins = s.downsample(0, 600, 300, Aggregate::Min);
+        assert_eq!(bins, vec![Point::new(0, 3.0), Point::new(300, 1.0)]);
+    }
+
+    #[test]
+    fn downsample_skips_empty_bins() {
+        let s = series(&[(0, 1.0), (900, 2.0)]);
+        let bins = s.downsample(0, 1200, 300, Aggregate::Mean);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[1].t, 900);
+    }
+
+    #[test]
+    fn downsample_dense_marks_gaps() {
+        let s = series(&[(0, 1.0), (900, 2.0)]);
+        let bins = s.downsample_dense(0, 1200, 300, Aggregate::Min);
+        assert_eq!(bins, vec![Some(1.0), None, None, Some(2.0)]);
+    }
+
+    #[test]
+    fn aggregate_functions() {
+        let s = series(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        assert_eq!(s.downsample(0, 10, 10, Aggregate::Max)[0].v, 3.0);
+        assert_eq!(s.downsample(0, 10, 10, Aggregate::Mean)[0].v, 2.0);
+        assert_eq!(s.downsample(0, 10, 10, Aggregate::Sum)[0].v, 6.0);
+        assert_eq!(s.downsample(0, 10, 10, Aggregate::Count)[0].v, 3.0);
+        assert_eq!(s.downsample(0, 10, 10, Aggregate::Last)[0].v, 3.0);
+    }
+
+    #[test]
+    fn trim_before_drops_old_points() {
+        let mut s = series(&[(0, 1.0), (100, 2.0), (200, 3.0)]);
+        assert_eq!(s.trim_before(150), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.span(), Some((200, 200)));
+    }
+
+    #[test]
+    fn duplicate_timestamps_allowed() {
+        let s = series(&[(5, 1.0), (5, 2.0), (5, 0.5)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.downsample(0, 10, 10, Aggregate::Min)[0].v, 0.5);
+    }
+}

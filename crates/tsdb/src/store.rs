@@ -1,0 +1,344 @@
+//! The sharded series store.
+
+use crate::key::{SeriesKey, TagSet};
+use crate::series::{Aggregate, Point, Series};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+
+const SHARDS: usize = 16;
+
+/// Tag predicate for series selection: every listed pair must match.
+pub type TagFilter = TagSet;
+
+/// Concurrent store of tagged time series.
+///
+/// Writers take a shard write lock only for their series' shard; analysis
+/// queries take read locks, so steady-state ingest and read-side analytics do
+/// not serialize against each other (the paper's backend ingests TSLP rounds
+/// continuously while inference jobs run on a longer cadence).
+///
+/// ```
+/// use manic_tsdb::{Aggregate, SeriesKey, Store};
+///
+/// let store = Store::new();
+/// let key = SeriesKey::with_tags("tslp", &[("vp", "ark1"), ("end", "far")]);
+/// for round in 0..12 {
+///     store.write(&key, round * 300, 20.0 + (round % 3) as f64);
+/// }
+/// // The inference pre-processing step: minimum per 15-minute bin.
+/// let bins = store.downsample(&key, 0, 3600, 900, Aggregate::Min);
+/// assert_eq!(bins.len(), 4);
+/// assert!(bins.iter().all(|p| p.v == 20.0));
+/// ```
+pub struct Store {
+    shards: Vec<RwLock<HashMap<SeriesKey, Series>>>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    pub fn new() -> Self {
+        Store {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, Series>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Append one point to a series, creating the series if needed.
+    pub fn write(&self, key: &SeriesKey, t: i64, v: f64) {
+        let mut shard = self.shard(key).write();
+        shard.entry(key.clone()).or_default().push(t, v);
+    }
+
+    /// Append many points to a series in one lock acquisition.
+    pub fn write_batch(&self, key: &SeriesKey, points: &[Point]) {
+        if points.is_empty() {
+            return;
+        }
+        let mut shard = self.shard(key).write();
+        let series = shard.entry(key.clone()).or_default();
+        for p in points {
+            series.push(p.t, p.v);
+        }
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Total number of stored points.
+    pub fn point_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(Series::len).sum::<usize>())
+            .sum()
+    }
+
+    /// All series keys for `measurement` whose tags match `filter`.
+    pub fn find_series(&self, measurement: &str, filter: &TagFilter) -> Vec<SeriesKey> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for key in shard.keys() {
+                if key.measurement == measurement && key.tags.matches(filter) {
+                    out.push(key.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Raw points of one series in `[start, end)`.
+    pub fn query(&self, key: &SeriesKey, start: i64, end: i64) -> Vec<Point> {
+        let shard = self.shard(key).read();
+        shard.get(key).map(|s| s.range(start, end).to_vec()).unwrap_or_default()
+    }
+
+    /// Downsampled view of one series (sparse: empty bins omitted).
+    pub fn downsample(
+        &self,
+        key: &SeriesKey,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+        agg: Aggregate,
+    ) -> Vec<Point> {
+        let shard = self.shard(key).read();
+        shard
+            .get(key)
+            .map(|s| s.downsample(start, end, bin_secs, agg))
+            .unwrap_or_default()
+    }
+
+    /// Dense downsampled view (one `Option<f64>` per bin across the window).
+    pub fn downsample_dense(
+        &self,
+        key: &SeriesKey,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+        agg: Aggregate,
+    ) -> Vec<Option<f64>> {
+        let shard = self.shard(key).read();
+        match shard.get(key) {
+            Some(s) => s.downsample_dense(start, end, bin_secs, agg),
+            None => {
+                let nbins = ((end - start).max(0) + bin_secs - 1) / bin_secs;
+                vec![None; nbins as usize]
+            }
+        }
+    }
+
+    /// Materialize a downsampled rollup of every series of `measurement`
+    /// matching `filter` into `target` (InfluxDB continuous-query style):
+    /// each source series gets a same-tag series under the target
+    /// measurement holding one aggregated point per bin. Returns the number
+    /// of points written. The production deployment keeps raw five-minute
+    /// TSLP samples on a short retention and hour-level rollups for the
+    /// longitudinal dashboards; this is that mechanism.
+    pub fn rollup(
+        &self,
+        measurement: &str,
+        filter: &TagFilter,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+        agg: Aggregate,
+        target: &str,
+    ) -> usize {
+        let mut written = 0;
+        for key in self.find_series(measurement, filter) {
+            let points = self.downsample(&key, start, end, bin_secs, agg);
+            if points.is_empty() {
+                continue;
+            }
+            let tkey = SeriesKey::new(target, key.tags.clone());
+            written += points.len();
+            self.write_batch(&tkey, &points);
+        }
+        written
+    }
+
+    /// Apply a retention policy: drop all points older than `cutoff`.
+    /// Returns the number of points removed.
+    pub fn retain_from(&self, cutoff: i64) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            for series in shard.values_mut() {
+                removed += series.trim_before(cutoff);
+            }
+            shard.retain(|_, s| !s.is_empty());
+        }
+        removed
+    }
+
+    /// Export one series as CSV (`t,v` rows with a header).
+    pub fn export_csv(&self, key: &SeriesKey, start: i64, end: i64) -> String {
+        let mut out = String::from("t,v\n");
+        for p in self.query(key, start, end) {
+            let _ = writeln!(out, "{},{}", p.t, p.v);
+        }
+        out
+    }
+
+    /// Export matching series as a Grafana-style JSON document:
+    /// `[{"target": "<series>", "datapoints": [[v, t], ...]}, ...]`.
+    pub fn export_json(&self, measurement: &str, filter: &TagFilter, start: i64, end: i64) -> String {
+        let mut doc = Vec::new();
+        for key in self.find_series(measurement, filter) {
+            let datapoints: Vec<(f64, i64)> =
+                self.query(&key, start, end).iter().map(|p| (p.v, p.t)).collect();
+            doc.push(serde_json::json!({
+                "target": key.to_string(),
+                "datapoints": datapoints,
+            }));
+        }
+        serde_json::to_string(&doc).expect("json export is infallible for these types")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::TagSet;
+
+    fn key(vp: &str, link: &str, end: &str) -> SeriesKey {
+        SeriesKey::with_tags("tslp", &[("vp", vp), ("link", link), ("end", end)])
+    }
+
+    #[test]
+    fn write_and_query_roundtrip() {
+        let store = Store::new();
+        let k = key("vp1", "L1", "far");
+        store.write(&k, 0, 10.0);
+        store.write(&k, 300, 12.0);
+        let pts = store.query(&k, 0, 1000);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].v, 12.0);
+    }
+
+    #[test]
+    fn find_series_filters_by_tags() {
+        let store = Store::new();
+        store.write(&key("vp1", "L1", "far"), 0, 1.0);
+        store.write(&key("vp1", "L1", "near"), 0, 1.0);
+        store.write(&key("vp2", "L2", "far"), 0, 1.0);
+        let far = store.find_series("tslp", &TagSet::from_pairs([("end", "far")]));
+        assert_eq!(far.len(), 2);
+        let l1 = store.find_series("tslp", &TagSet::from_pairs([("link", "L1")]));
+        assert_eq!(l1.len(), 2);
+        let all = store.find_series("tslp", &TagSet::new());
+        assert_eq!(all.len(), 3);
+        assert!(store.find_series("loss", &TagSet::new()).is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let store = Store::new();
+        store.write(&key("vp1", "L1", "far"), 0, 1.0);
+        store.write(&key("vp1", "L1", "far"), 1, 1.0);
+        store.write(&key("vp1", "L1", "near"), 0, 1.0);
+        assert_eq!(store.series_count(), 2);
+        assert_eq!(store.point_count(), 3);
+    }
+
+    #[test]
+    fn retention_trims_and_prunes() {
+        let store = Store::new();
+        let k = key("vp1", "L1", "far");
+        for t in 0..10 {
+            store.write(&k, t * 100, t as f64);
+        }
+        assert_eq!(store.retain_from(500), 5);
+        assert_eq!(store.point_count(), 5);
+        assert_eq!(store.retain_from(10_000), 5);
+        assert_eq!(store.series_count(), 0);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let store = Store::new();
+        let k = key("vp1", "L1", "far");
+        store.write(&k, 5, 1.5);
+        let csv = store.export_csv(&k, 0, 10);
+        assert_eq!(csv, "t,v\n5,1.5\n");
+    }
+
+    #[test]
+    fn json_export_parses() {
+        let store = Store::new();
+        store.write(&key("vp1", "L1", "far"), 0, 2.0);
+        let js = store.export_json("tslp", &TagSet::new(), 0, 10);
+        let v: serde_json::Value = serde_json::from_str(&js).unwrap();
+        assert_eq!(v[0]["datapoints"][0][0], 2.0);
+    }
+
+    #[test]
+    fn dense_downsample_of_missing_series_is_all_none() {
+        let store = Store::new();
+        let k = key("vp9", "L9", "far");
+        let bins = store.downsample_dense(&k, 0, 900, 300, Aggregate::Min);
+        assert_eq!(bins, vec![None, None, None]);
+    }
+
+    #[test]
+    fn rollup_materializes_aggregates() {
+        let store = Store::new();
+        for vp in ["a", "b"] {
+            let k = SeriesKey::with_tags("tslp", &[("vp", vp), ("end", "far")]);
+            for t in 0..12 {
+                store.write(&k, t * 300, (t % 4) as f64);
+            }
+        }
+        let n = store.rollup("tslp", &TagSet::new(), 0, 3600, 900, Aggregate::Min, "tslp_15m");
+        assert_eq!(n, 8, "4 bins x 2 series");
+        let rolled = store.find_series("tslp_15m", &TagSet::new());
+        assert_eq!(rolled.len(), 2);
+        let pts = store.query(&rolled[0], 0, 3600);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].v, 0.0, "min of 0,1,2");
+        // Raw series untouched.
+        assert_eq!(store.find_series("tslp", &TagSet::new()).len(), 2);
+        // Typical pairing: retention trims old raw samples; the rollup keeps
+        // its own (coarser) points past the cutoff.
+        store.retain_from(1800);
+        let raw = store.query(&SeriesKey::with_tags("tslp", &[("vp", "a"), ("end", "far")]), 0, 3600);
+        assert_eq!(raw.len(), 6, "raw samples before the cutoff dropped");
+        assert_eq!(store.query(&rolled[0], 0, 3600).len(), 2, "post-cutoff rollup bins remain");
+    }
+
+    #[test]
+    fn concurrent_ingest() {
+        use std::sync::Arc;
+        let store = Arc::new(Store::new());
+        let mut handles = Vec::new();
+        for vp in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let k = key(&format!("vp{vp}"), "L1", "far");
+                for t in 0..1000 {
+                    store.write(&k, t, t as f64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.point_count(), 8000);
+        assert_eq!(store.series_count(), 8);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the tsdb crate.
+
+use manic_tsdb::{parse_line, Aggregate, Point, Series, SeriesKey, Store, TagSet};
+use proptest::prelude::*;
+
+proptest! {
+    /// downsample(Min) output is <= every raw sample inside its bin and is a
+    /// member of the bin.
+    #[test]
+    fn downsample_min_is_bin_minimum(
+        pts in prop::collection::vec((0i64..10_000, -1e6f64..1e6), 1..200),
+        bin in 1i64..1000,
+    ) {
+        let mut s = Series::new();
+        for &(t, v) in &pts {
+            s.push(t, v);
+        }
+        for Point { t: bin_start, v } in s.downsample(0, 10_000, bin, Aggregate::Min) {
+            let in_bin: Vec<f64> = pts
+                .iter()
+                .filter(|(t, _)| *t >= bin_start && *t < bin_start + bin)
+                .map(|&(_, v)| v)
+                .collect();
+            prop_assert!(!in_bin.is_empty());
+            let min = in_bin.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(v, min);
+        }
+    }
+
+    /// The series stays sorted no matter the insertion order.
+    #[test]
+    fn series_always_sorted(pts in prop::collection::vec((0i64..1000, -10.0f64..10.0), 0..100)) {
+        let mut s = Series::new();
+        for &(t, v) in &pts {
+            s.push(t, v);
+        }
+        let ts: Vec<i64> = s.all().iter().map(|p| p.t).collect();
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(s.len(), pts.len());
+    }
+
+    /// range(start, end) returns exactly the points in the half-open window.
+    #[test]
+    fn range_matches_linear_filter(
+        pts in prop::collection::vec((0i64..1000, -10.0f64..10.0), 0..100),
+        start in 0i64..1000,
+        len in 0i64..1000,
+    ) {
+        let mut s = Series::new();
+        for &(t, v) in &pts {
+            s.push(t, v);
+        }
+        let end = start + len;
+        let got = s.range(start, end).len();
+        let expected = pts.iter().filter(|(t, _)| *t >= start && *t < end).count();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Line-protocol roundtrip through arbitrary tag-ish strings.
+    #[test]
+    fn lineproto_roundtrip(
+        meas in "[a-z]{1,8}",
+        tags in prop::collection::vec(("[a-z]{1,6}", "[a-zA-Z0-9_.-]{1,8}"), 0..4),
+        t in -1_000_000i64..1_000_000,
+        v in -1e9f64..1e9,
+    ) {
+        let key = SeriesKey::new(
+            meas,
+            TagSet::from_pairs(tags.iter().map(|(k, v)| (k.clone(), v.clone()))),
+        );
+        let line = manic_tsdb::format_line(&key, Point::new(t, v));
+        let (k2, p2) = parse_line(&line).unwrap();
+        prop_assert_eq!(key, k2);
+        prop_assert_eq!(p2.t, t);
+        prop_assert!((p2.v - v).abs() <= 1e-9 * v.abs().max(1.0));
+    }
+
+    /// Dense downsampling covers every bin exactly once.
+    #[test]
+    fn dense_bins_cover_window(
+        pts in prop::collection::vec((0i64..5000, 0.0f64..10.0), 0..50),
+        bin in 1i64..500,
+    ) {
+        let store = Store::new();
+        let key = SeriesKey::with_tags("m", &[("a", "b")]);
+        for &(t, v) in &pts {
+            store.write(&key, t, v);
+        }
+        let dense = store.downsample_dense(&key, 0, 5000, bin, Aggregate::Min);
+        let expected_bins = (5000 + bin - 1) / bin;
+        prop_assert_eq!(dense.len() as i64, expected_bins);
+        let filled = dense.iter().filter(|b| b.is_some()).count();
+        let sparse = store.downsample(&key, 0, 5000, bin, Aggregate::Min).len();
+        prop_assert_eq!(filled, sparse);
+    }
+}

@@ -1,0 +1,173 @@
+//! Operator ground-truth validation (§5.4).
+//!
+//! "The second operator provided us confidential access to utilization data
+//! from their routers ... Of the 20 links, our method classified 10 as
+//! showing recurring congestion and 10 as uncongested ... In each case, the
+//! link utilization was consistent with our congestion inference."
+//!
+//! In the reproduction, the simulator *is* the operator: this module — and
+//! only this module — reads `Network::link_state` ground truth and compares
+//! it against the inference pipeline's day estimates. The inference side
+//! never touches utilization.
+
+use manic_inference::DayEstimate;
+use manic_netsim::time::{SimTime, SECS_PER_DAY};
+use manic_netsim::topo::Direction;
+use manic_netsim::{LinkId, Network};
+
+/// Verdict for one audited link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// Inferred congested, utilization reached capacity: true positive.
+    TruePositive,
+    /// Inferred uncongested, utilization stayed clear: true negative.
+    TrueNegative,
+    /// Inferred congested but the link never filled.
+    FalsePositive,
+    /// Missed congestion the operator data shows.
+    FalseNegative,
+}
+
+/// Summary of one audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    pub outcomes: Vec<(String, AuditOutcome)>,
+}
+
+impl AuditReport {
+    pub fn count(&self, o: AuditOutcome) -> usize {
+        self.outcomes.iter().filter(|(_, x)| *x == o).count()
+    }
+
+    /// All inferences consistent with operator data?
+    pub fn all_consistent(&self) -> bool {
+        self.count(AuditOutcome::FalsePositive) == 0 && self.count(AuditOutcome::FalseNegative) == 0
+    }
+}
+
+/// Fraction-of-day threshold on inferred congestion (the §6 "significantly
+/// congested" bar: ≥4% of the day ≈ one hour).
+pub const INFERRED_DAY_THRESHOLD: f64 = 0.04;
+/// A day counts as operator-congested when utilization reaches capacity for
+/// at least this many 15-minute intervals (matching the inference bar).
+pub const GT_INTERVALS_THRESHOLD: usize = 4;
+
+/// Does the operator's utilization data show recurring congestion on
+/// `link`/`dir` over `[from, to)`? Checks, day by day, whether utilization
+/// reached 100% for at least an hour, and requires several such days.
+pub fn ground_truth_congested(
+    net: &Network,
+    link: LinkId,
+    dir: Direction,
+    from: SimTime,
+    to: SimTime,
+    min_days: usize,
+) -> bool {
+    let mut congested_days = 0;
+    let mut day = from;
+    while day < to {
+        let mut hot = 0;
+        for iv in 0..96 {
+            let t = day + iv * 900 + 450;
+            if net.link_state(link, dir, t).utilization >= 1.0 {
+                hot += 1;
+            }
+        }
+        if hot >= GT_INTERVALS_THRESHOLD {
+            congested_days += 1;
+            if congested_days >= min_days {
+                return true;
+            }
+        }
+        day += SECS_PER_DAY;
+    }
+    false
+}
+
+/// Audit a set of links: each entry is `(label, link, congested-direction,
+/// merged day estimates over the audit window)`.
+pub fn audit(
+    net: &Network,
+    links: &[(String, LinkId, Direction, Vec<DayEstimate>)],
+    from: SimTime,
+    to: SimTime,
+    min_days: usize,
+) -> AuditReport {
+    let mut report = AuditReport::default();
+    for (label, link, dir, days) in links {
+        let inferred = days
+            .iter()
+            .filter(|d| d.congestion_pct >= INFERRED_DAY_THRESHOLD)
+            .count()
+            >= min_days;
+        let actual = ground_truth_congested(net, *link, *dir, from, to, min_days);
+        let outcome = match (inferred, actual) {
+            (true, true) => AuditOutcome::TruePositive,
+            (false, false) => AuditOutcome::TrueNegative,
+            (true, false) => AuditOutcome::FalsePositive,
+            (false, true) => AuditOutcome::FalseNegative,
+        };
+        report.outcomes.push((label.clone(), outcome));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_netsim::time::{date_to_sim, Date};
+    use manic_scenario::worlds::{toy, toy_asns};
+
+    #[test]
+    fn ground_truth_sees_scripted_congestion() {
+        let w = toy(1);
+        let from = date_to_sim(Date::new(2016, 6, 1));
+        let to = date_to_sim(Date::new(2016, 6, 15));
+        let hot = w.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+        let cold = w.links_between(toy_asns::ACME, toy_asns::VIDCO)[0];
+        assert!(ground_truth_congested(
+            &w.net,
+            hot.link,
+            hot.dir_toward(toy_asns::ACME),
+            from,
+            to,
+            5
+        ));
+        assert!(!ground_truth_congested(
+            &w.net,
+            cold.link,
+            cold.dir_toward(toy_asns::ACME),
+            from,
+            to,
+            5
+        ));
+    }
+
+    #[test]
+    fn audit_classifies_quadrants() {
+        let w = toy(1);
+        let from = date_to_sim(Date::new(2016, 6, 1));
+        let to = date_to_sim(Date::new(2016, 6, 15));
+        let hot = w.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+        let cold = w.links_between(toy_asns::ACME, toy_asns::VIDCO)[0];
+        let congested_days: Vec<DayEstimate> = (0..14)
+            .map(|day| DayEstimate { day, congested_intervals: 16, congestion_pct: 16.0 / 96.0 })
+            .collect();
+        let clean_days: Vec<DayEstimate> = (0..14)
+            .map(|day| DayEstimate { day, congested_intervals: 0, congestion_pct: 0.0 })
+            .collect();
+        let links = vec![
+            ("hot-correct".to_string(), hot.link, hot.dir_toward(toy_asns::ACME), congested_days.clone()),
+            ("cold-correct".to_string(), cold.link, cold.dir_toward(toy_asns::ACME), clean_days.clone()),
+            ("hot-missed".to_string(), hot.link, hot.dir_toward(toy_asns::ACME), clean_days),
+            ("cold-overcalled".to_string(), cold.link, cold.dir_toward(toy_asns::ACME), congested_days),
+        ];
+        let report = audit(&w.net, &links, from, to, 5);
+        assert_eq!(report.outcomes[0].1, AuditOutcome::TruePositive);
+        assert_eq!(report.outcomes[1].1, AuditOutcome::TrueNegative);
+        assert_eq!(report.outcomes[2].1, AuditOutcome::FalseNegative);
+        assert_eq!(report.outcomes[3].1, AuditOutcome::FalsePositive);
+        assert!(!report.all_consistent());
+        assert_eq!(report.count(AuditOutcome::TruePositive), 1);
+    }
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate re-exporting the manic-rs public API.
+pub use manic_core as core;

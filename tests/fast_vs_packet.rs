@@ -1,0 +1,115 @@
+//! Equivalence of the fluid fast path and packet-mode probing.
+//!
+//! DESIGN.md documents the fluid path as "an aggregation shortcut —
+//! identical distributional observables at 100x speed". This test holds it
+//! to that: the min-per-15-minute TSLP series synthesized by the fast path
+//! must track the series the packet-mode prober actually records, bin by
+//! bin, on both a congested and an uncongested link.
+
+use manic_core::{System, SystemConfig};
+use manic_netsim::time::{date_to_sim, Date, SECS_PER_DAY};
+use manic_probing::tslp::{series_key, End};
+use manic_scenario::worlds::{toy, toy_asns};
+use manic_tsdb::Aggregate;
+
+#[test]
+fn fluid_series_tracks_packet_series() {
+    let mut sys = System::new(toy(5), SystemConfig::default());
+    let from = date_to_sim(Date::new(2016, 6, 6));
+    let to = from + SECS_PER_DAY;
+    sys.run_bdrmap_cycle(0, from);
+
+    // Packet mode: one day of real probing into the tsdb.
+    {
+        let world = &sys.world;
+        let vp = &mut sys.vps[0];
+        let mut t = from;
+        while t < to {
+            vp.tslp.probe_round(&world.net, &mut vp.sim, t, &sys.store);
+            t += 300;
+        }
+    }
+
+    // Fluid mode: the synthesized counterpart.
+    let vp = &sys.vps[0];
+    let fluid = vp.tslp.synthesize_window(&sys.world.net, from, to, 900);
+
+    let mut compared_links = 0;
+    for series in &fluid {
+        let task = vp
+            .tslp
+            .tasks
+            .iter()
+            .find(|t| t.far_ip == series.far_ip)
+            .expect("task exists");
+        for (end, fluid_bins) in [(End::Near, &series.near), (End::Far, &series.far)] {
+            let key = series_key(&vp.handle.name, task, end);
+            let packet_bins = sys.store.downsample_dense(&key, from, to, 900, Aggregate::Min);
+            assert_eq!(packet_bins.len(), fluid_bins.len());
+            let mut n = 0;
+            let mut err = 0.0;
+            for (p, f) in packet_bins.iter().zip(fluid_bins) {
+                if let (Some(p), Some(f)) = (p, f) {
+                    n += 1;
+                    err += (p - f).abs();
+                }
+            }
+            assert!(n > 80, "most bins present on both sides ({n}/96)");
+            let mae = err / n as f64;
+            assert!(
+                mae < 2.0,
+                "fast path must track packet mode: MAE {mae:.2} ms on {} {}",
+                series.far_ip,
+                end.tag()
+            );
+        }
+        compared_links += 1;
+    }
+    assert!(compared_links >= 4, "all toy links compared");
+}
+
+#[test]
+fn fluid_and_packet_agree_on_congestion_signal() {
+    // The distributional property inference cares about: elevated evening
+    // far-end RTT on the congested link, in both modes.
+    let mut sys = System::new(toy(5), SystemConfig::default());
+    let from = date_to_sim(Date::new(2016, 6, 6));
+    let to = from + SECS_PER_DAY;
+    sys.run_bdrmap_cycle(0, from);
+    {
+        let world = &sys.world;
+        let vp = &mut sys.vps[0];
+        let mut t = from;
+        while t < to {
+            vp.tslp.probe_round(&world.net, &mut vp.sim, t, &sys.store);
+            t += 300;
+        }
+    }
+    let vp = &sys.vps[0];
+    let gt = &sys.world.links_between(toy_asns::ACME, toy_asns::CDNCO)[0];
+    let far = gt.far_addr_from(toy_asns::ACME);
+    let task = vp.tslp.tasks.iter().find(|t| t.far_ip == far).unwrap();
+    let key = series_key(&vp.handle.name, task, End::Far);
+    // Peak = 01:00-03:00 UTC (evening in NYC); trough = 13:00-15:00 UTC.
+    let max_in = |lo: i64, hi: i64| {
+        sys.store
+            .downsample(&key, from + lo * 3600, from + hi * 3600, 900, Aggregate::Min)
+            .iter()
+            .map(|p| p.v)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let packet_peak = max_in(1, 3);
+    let packet_trough = max_in(13, 15);
+    assert!(
+        packet_peak > packet_trough + 20.0,
+        "packet mode sees the evening queue: {packet_peak} vs {packet_trough}"
+    );
+    let fluid = vp.tslp.synthesize_window(&sys.world.net, from, to, 900);
+    let series = fluid.iter().find(|s| s.far_ip == far).unwrap();
+    let fl_peak = series.far[4..12].iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let fl_trough = series.far[52..60].iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        fl_peak > fl_trough + 20.0,
+        "fluid mode sees the same queue: {fl_peak} vs {fl_trough}"
+    );
+}
