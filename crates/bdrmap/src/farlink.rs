@@ -93,9 +93,9 @@ pub fn infer_far_links(
 }
 
 /// Adjacent responsive hop pairs.
-fn windows_of_responsive<'a>(
-    ann: &'a [HopAnnotation],
-) -> impl Iterator<Item = (&'a HopAnnotation, &'a HopAnnotation)> {
+fn windows_of_responsive(
+    ann: &[HopAnnotation],
+) -> impl Iterator<Item = (&HopAnnotation, &HopAnnotation)> {
     let responsive: Vec<&HopAnnotation> =
         ann.iter().filter(|h| h.addr.is_some()).collect();
     (1..responsive.len()).map(move |i| (responsive[i - 1], responsive[i]))

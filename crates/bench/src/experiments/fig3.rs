@@ -84,9 +84,7 @@ pub fn run() -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Figure 3 — TSLP latency (top) and loss (bottom) for the {} <-> {} link\n({} .. {}), VP {}, link far IP {}.\nInferred congestion windows are marked '#'.\n",
-        "verizon",
-        "google",
+        "Figure 3 — TSLP latency (top) and loss (bottom) for the verizon <-> google link\n({} .. {}), VP {}, link far IP {}.\nInferred congestion windows are marked '#'.\n",
         format_sim(plot_from),
         format_sim(plot_to),
         vp.handle.name,

@@ -35,8 +35,8 @@ fn estimates(link: &LinkDays, from: i64, to: i64) -> Vec<DayEstimate> {
 }
 
 /// The simulated link + congested direction behind a merged record.
-fn gt_of<'w>(
-    world: &'w manic_scenario::World,
+fn gt_of(
+    world: &manic_scenario::World,
     link: &LinkDays,
 ) -> Option<(manic_netsim::LinkId, Direction)> {
     let gt = world

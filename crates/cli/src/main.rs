@@ -17,7 +17,46 @@ use manic_netsim::time::{date_to_sim, format_sim, Date, SECS_PER_DAY};
 use manic_scenario::worlds::{toy, us_broadband};
 use manic_scenario::World;
 use manic_tsdb::TagSet;
+use std::fmt;
 use std::process::ExitCode;
+
+/// Everything that can go wrong between argv and a finished command. The
+/// workspace carries no error-handling dependency, so this small enum is
+/// the whole story: every failure path surfaces here instead of panicking.
+#[derive(Debug)]
+enum CliError {
+    MissingCommand,
+    UnknownCommand(String),
+    MissingValue(String),
+    UnknownFlag(String),
+    InvalidValue { flag: &'static str, reason: String },
+    UnknownWorld(String),
+    MissingVp,
+    UnknownVp(String),
+    UnknownFormat(String),
+    EmptyCycle(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "missing command"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            CliError::InvalidValue { flag, reason } => write!(f, "{flag}: {reason}"),
+            CliError::UnknownWorld(w) => write!(f, "unknown world '{w}' (toy|us)"),
+            CliError::MissingVp => write!(f, "--vp required"),
+            CliError::UnknownVp(vp) => write!(f, "unknown VP '{vp}' (try `manic world`)"),
+            CliError::UnknownFormat(fmt) => write!(f, "unknown format '{fmt}' (json|csv)"),
+            CliError::EmptyCycle(vp) => {
+                write!(f, "bdrmap cycle for '{vp}' produced no links")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Default simulated start for CLI runs (inside the study window).
 fn t0() -> i64 {
@@ -34,8 +73,8 @@ struct Args {
 }
 
 impl Args {
-    fn parse(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), String> {
-        let cmd = argv.next().ok_or("missing command")?;
+    fn parse(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), CliError> {
+        let cmd = argv.next().ok_or(CliError::MissingCommand)?;
         let mut args = Args {
             world: "toy".into(),
             seed: 42,
@@ -45,25 +84,46 @@ impl Args {
             format: "csv".into(),
         };
         while let Some(flag) = argv.next() {
-            let mut val = || argv.next().ok_or(format!("{flag} needs a value"));
+            let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
+            fn num<T: std::str::FromStr>(flag: &'static str, v: String) -> Result<T, CliError>
+            where
+                T::Err: fmt::Display,
+            {
+                v.parse()
+                    .map_err(|e: T::Err| CliError::InvalidValue { flag, reason: e.to_string() })
+            }
             match flag.as_str() {
                 "--world" => args.world = val()?,
-                "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--seed" => args.seed = num("--seed", val()?)?,
                 "--vp" => args.vp = Some(val()?),
-                "--days" => args.days = val()?.parse().map_err(|e| format!("--days: {e}"))?,
-                "--hours" => args.hours = val()?.parse().map_err(|e| format!("--hours: {e}"))?,
+                "--days" => args.days = num("--days", val()?)?,
+                "--hours" => args.hours = num("--hours", val()?)?,
                 "--format" => args.format = val()?,
-                other => return Err(format!("unknown flag {other}")),
+                other => return Err(CliError::UnknownFlag(other.to_string())),
             }
+        }
+        // Window lengths must be positive: downstream day-aligned asserts
+        // (LongitudinalConfig) must never be reachable from user input.
+        if args.days <= 0 {
+            return Err(CliError::InvalidValue {
+                flag: "--days",
+                reason: format!("must be positive, got {}", args.days),
+            });
+        }
+        if args.hours <= 0 {
+            return Err(CliError::InvalidValue {
+                flag: "--hours",
+                reason: format!("must be positive, got {}", args.hours),
+            });
         }
         Ok((cmd, args))
     }
 
-    fn build_world(&self) -> Result<World, String> {
+    fn build_world(&self) -> Result<World, CliError> {
         match self.world.as_str() {
             "toy" => Ok(toy(self.seed)),
             "us" => Ok(us_broadband(self.seed)),
-            other => Err(format!("unknown world '{other}' (toy|us)")),
+            other => Err(CliError::UnknownWorld(other.to_string())),
         }
     }
 }
@@ -92,7 +152,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(cmd: &str, args: Args) -> Result<(), String> {
+fn run(cmd: &str, args: Args) -> Result<(), CliError> {
     match cmd {
         "world" => cmd_world(args),
         "links" => cmd_links(args),
@@ -100,11 +160,11 @@ fn run(cmd: &str, args: Args) -> Result<(), String> {
         "study" => cmd_study(args),
         "export" => cmd_export(args),
         "inspect" => cmd_inspect(args),
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
 
-fn cmd_world(args: Args) -> Result<(), String> {
+fn cmd_world(args: Args) -> Result<(), CliError> {
     let w = args.build_world()?;
     println!("world '{}' (seed {}):", args.world, args.seed);
     println!("  ASes:              {}", w.graph.len());
@@ -118,22 +178,25 @@ fn cmd_world(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn vp_index(sys: &System, args: &Args) -> Result<usize, String> {
-    let name = args.vp.as_deref().ok_or("--vp required")?;
+fn vp_index(sys: &System, args: &Args) -> Result<usize, CliError> {
+    let name = args.vp.as_deref().ok_or(CliError::MissingVp)?;
     sys.vps
         .iter()
         .position(|v| v.handle.name == name)
-        .ok_or_else(|| format!("unknown VP '{name}' (try `manic world`)"))
+        .ok_or_else(|| CliError::UnknownVp(name.to_string()))
 }
 
-fn cmd_links(args: Args) -> Result<(), String> {
+fn cmd_links(args: Args) -> Result<(), CliError> {
     let mut sys = System::new(args.build_world()?, SystemConfig::default());
     let vi = vp_index(&sys, &args)?;
     let n = sys.run_bdrmap_cycle(vi, t0());
     let vp = &sys.vps[vi];
     println!("{}: {} interdomain links under probing", vp.handle.name, n);
     println!("{:<16} {:<16} {:<12} {:<9} {:>5} {:>6}", "near", "far", "neighbor", "rel", "ixp", "dests");
-    let bdr = vp.bdrmap.as_ref().expect("cycle ran");
+    let bdr = vp
+        .bdrmap
+        .as_ref()
+        .ok_or_else(|| CliError::EmptyCycle(vp.handle.name.clone()))?;
     for task in &vp.tslp.tasks {
         let meta = bdr
             .links
@@ -161,7 +224,7 @@ fn cmd_links(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_watch(args: Args) -> Result<(), String> {
+fn cmd_watch(args: Args) -> Result<(), CliError> {
     let mut sys = System::new(args.build_world()?, SystemConfig::default());
     let vi = vp_index(&sys, &args)?;
     let from = t0();
@@ -196,7 +259,7 @@ fn cmd_watch(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_study(args: Args) -> Result<(), String> {
+fn cmd_study(args: Args) -> Result<(), CliError> {
     let mut sys = System::new(args.build_world()?, SystemConfig::default());
     let from = t0();
     let to = from + args.days * SECS_PER_DAY;
@@ -232,44 +295,9 @@ fn cmd_study(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-#[cfg(test)]
-mod tests {
-    use super::Args;
-
-    fn parse(args: &[&str]) -> Result<(String, Args), String> {
-        Args::parse(args.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn defaults_and_flags() {
-        let (cmd, a) = parse(&["study", "--days", "30", "--world", "us", "--seed", "7"]).unwrap();
-        assert_eq!(cmd, "study");
-        assert_eq!(a.days, 30);
-        assert_eq!(a.world, "us");
-        assert_eq!(a.seed, 7);
-        let (_, d) = parse(&["world"]).unwrap();
-        assert_eq!(d.world, "toy");
-        assert_eq!(d.seed, 42);
-    }
-
-    #[test]
-    fn errors_reported() {
-        assert!(parse(&[]).is_err());
-        assert!(parse(&["links", "--seed"]).is_err());
-        assert!(parse(&["links", "--bogus", "1"]).is_err());
-        assert!(parse(&["links", "--days", "notanumber"]).is_err());
-    }
-
-    #[test]
-    fn unknown_world_rejected_at_build() {
-        let (_, a) = parse(&["world", "--world", "mars"]).unwrap();
-        assert!(a.build_world().is_err());
-    }
-}
-
 /// §4.2's manual-inspection workflow: render an evidence dossier for every
 /// link the pipeline asserts as congested.
-fn cmd_inspect(args: Args) -> Result<(), String> {
+fn cmd_inspect(args: Args) -> Result<(), CliError> {
     let mut sys = System::new(args.build_world()?, SystemConfig::default());
     let from = t0();
     let to = from + args.days * SECS_PER_DAY;
@@ -308,7 +336,7 @@ fn cmd_inspect(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export(args: Args) -> Result<(), String> {
+fn cmd_export(args: Args) -> Result<(), CliError> {
     let mut sys = System::new(args.build_world()?, SystemConfig::default());
     let vi = vp_index(&sys, &args)?;
     let from = t0();
@@ -326,7 +354,56 @@ fn cmd_export(args: Args) -> Result<(), String> {
                 }
             }
         }
-        other => return Err(format!("unknown format '{other}' (json|csv)")),
+        other => return Err(CliError::UnknownFormat(other.to_string())),
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    fn parse(args: &[&str]) -> Result<(String, Args), super::CliError> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let (cmd, a) = parse(&["study", "--days", "30", "--world", "us", "--seed", "7"]).unwrap();
+        assert_eq!(cmd, "study");
+        assert_eq!(a.days, 30);
+        assert_eq!(a.world, "us");
+        assert_eq!(a.seed, 7);
+        let (_, d) = parse(&["world"]).unwrap();
+        assert_eq!(d.world, "toy");
+        assert_eq!(d.seed, 42);
+    }
+
+    #[test]
+    fn errors_reported() {
+        use super::CliError;
+        assert!(matches!(parse(&[]), Err(CliError::MissingCommand)));
+        assert!(matches!(parse(&["links", "--seed"]), Err(CliError::MissingValue(_))));
+        assert!(matches!(parse(&["links", "--bogus", "1"]), Err(CliError::UnknownFlag(_))));
+        assert!(matches!(
+            parse(&["links", "--days", "notanumber"]),
+            Err(CliError::InvalidValue { flag: "--days", .. })
+        ));
+        // Non-positive windows are rejected at parse time, before they can
+        // reach day-alignment asserts downstream.
+        assert!(matches!(
+            parse(&["study", "--days", "0"]),
+            Err(CliError::InvalidValue { flag: "--days", .. })
+        ));
+        assert!(matches!(
+            parse(&["watch", "--hours", "-3"]),
+            Err(CliError::InvalidValue { flag: "--hours", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_world_rejected_at_build() {
+        let (_, a) = parse(&["world", "--world", "mars"]).unwrap();
+        assert!(a.build_world().is_err());
+    }
 }

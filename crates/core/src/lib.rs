@@ -17,8 +17,10 @@
 //!   (see `manic_probing::path`), which is what makes the 22-month §6
 //!   studies tractable.
 
+pub mod health;
 pub mod longitudinal;
 pub mod system;
 
+pub use health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};
 pub use longitudinal::{run_longitudinal, run_longitudinal_detailed, LinkDays, LongitudinalConfig, LongitudinalOutput, VpLinkDays};
 pub use system::{System, SystemConfig, VpRuntime};

@@ -172,10 +172,11 @@ pub fn run_longitudinal_detailed(system: &mut System, cfg: &LongitudinalConfig) 
     }
 
     // Parallel synthesis + analysis per VP.
+    type LinkOut = (Ipv4, Ipv4, AsNumber, LinkRel, bool, BTreeMap<i64, u128>, BTreeSet<i64>);
     struct VpOut {
         vp_name: String,
         host_as: AsNumber,
-        links: Vec<(Ipv4, Ipv4, AsNumber, LinkRel, bool, BTreeMap<i64, u128>, BTreeSet<i64>)>,
+        links: Vec<LinkOut>,
     }
     let net = &system.world.net;
     let vps: Vec<&crate::system::VpRuntime> = system
@@ -184,10 +185,10 @@ pub fn run_longitudinal_detailed(system: &mut System, cfg: &LongitudinalConfig) 
         .filter(|v| v.active && v.bdrmap.is_some())
         .collect();
     let chunk = vps.len().div_ceil(cfg.threads.max(1));
-    let outputs: Vec<VpOut> = crossbeam::thread::scope(|scope| {
+    let outputs: Vec<VpOut> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for group in vps.chunks(chunk.max(1)) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut outs = Vec::new();
                 for vp in group {
                     let series =
@@ -223,8 +224,7 @@ pub fn run_longitudinal_detailed(system: &mut System, cfg: &LongitudinalConfig) 
             }));
         }
         handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+    });
 
     // Merge across VPs: link identity = (host org anchor, near, far).
     let mut per_vp_records = Vec::new();

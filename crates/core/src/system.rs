@@ -1,14 +1,15 @@
 //! System orchestration: VPs, probing state, measurement scheduling.
 
+use crate::health::{CycleBackoff, HealthConfig, TaskHealth};
 use manic_bdrmap::{infer, BdrmapResult};
-use manic_inference::{detect_level_shifts, LevelShiftConfig};
+use manic_inference::{detect_level_shifts_masked, LevelShiftConfig, DEFAULT_REJECT};
 use manic_netsim::time::{SimTime, SECS_PER_DAY};
 use manic_netsim::{Ipv4, SimState};
 use manic_probing::loss::LossTarget;
 use manic_probing::tslp::{select_targets, series_key, End, TslpProber, ROUND_SECS};
 use manic_probing::{ally_test, trace, LossProber, Traceroute, VpHandle};
 use manic_scenario::World;
-use manic_tsdb::{Aggregate, Store};
+use manic_tsdb::{quality, Aggregate, Store};
 
 /// System-wide configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +27,8 @@ pub struct SystemConfig {
     /// this many consecutive rounds, re-run the VP's bdrmap cycle
     /// immediately instead of waiting for the scheduled one. Zero disables.
     pub reactive_mismatch_rounds: u32,
+    /// Per-task health machine thresholds (degrade / quarantine / retire).
+    pub health: HealthConfig,
 }
 
 impl Default for SystemConfig {
@@ -36,6 +39,7 @@ impl Default for SystemConfig {
             levelshift: LevelShiftConfig::default(),
             max_loss_targets: 30,
             reactive_mismatch_rounds: 3,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -55,6 +59,11 @@ pub struct VpRuntime {
     /// Consecutive rounds each task spent without a valid far-end response,
     /// keyed by (near, far) — drives reactive probing-set updates.
     pub stale_rounds: std::collections::HashMap<(Ipv4, Ipv4), u32>,
+    /// Per-task health machines, keyed by (near, far). Reset on every
+    /// bdrmap cycle (a fresh probing set gets a fresh chance).
+    pub health: std::collections::HashMap<(Ipv4, Ipv4), TaskHealth>,
+    /// Bounded-retry schedule for failed (empty) bdrmap cycles.
+    pub cycle_backoff: CycleBackoff,
     /// Whether the VP is currently hosted. §3: "Due to the volunteer-based
     /// nature of Ark VP hosting, there is churn in the set of usable VPs"
     /// (86 over the study, 63 by December 2017). Retired VPs stop probing;
@@ -109,6 +118,8 @@ impl System {
                 bdrmap: None,
                 last_cycle: None,
                 stale_rounds: std::collections::HashMap::new(),
+                health: std::collections::HashMap::new(),
+                cycle_backoff: CycleBackoff::default(),
                 active: true,
             })
             .collect();
@@ -187,6 +198,9 @@ impl System {
         vp.bdrmap = Some(result);
         vp.last_cycle = Some(t);
         vp.stale_rounds.clear();
+        // A fresh probing set clears all health state: retired tasks that
+        // survived re-selection get probed again from scratch.
+        vp.health.clear();
         vp.tslp.tasks.len()
     }
 
@@ -226,6 +240,13 @@ impl System {
     /// Run packet-mode measurement from `from` to `to`: bdrmap cycles on
     /// their cadence and a TSLP round every five minutes, all landing in the
     /// tsdb. Returns the number of TSLP rounds executed.
+    ///
+    /// Hardened control loop: VP retirement is polled from the fault
+    /// schedule, empty bdrmap cycles retry on an exponential backoff instead
+    /// of waiting a full cycle, unhealthy tasks are skipped per their health
+    /// machine (their windows annotated `QUARANTINED|GAP`), and suspect
+    /// sample windows (renumbered responder, far-dark-while-near-fine) are
+    /// annotated so inference masks them.
     pub fn run_packet_mode(&mut self, from: SimTime, to: SimTime) -> usize {
         let cycle_secs = self.cfg.bdrmap_cycle_days * SECS_PER_DAY;
         let mut rounds = 0;
@@ -236,24 +257,132 @@ impl System {
                     continue;
                 }
                 let due = match self.vps[vi].last_cycle {
-                    None => true,
+                    // Immediately-due (startup or reactive refresh), unless a
+                    // string of failed cycles has us backing off.
+                    None => self.vps[vi].cycle_backoff.may_attempt(t),
                     Some(last) => t - last >= cycle_secs,
                 };
                 if due {
-                    self.run_bdrmap_cycle(vi, t);
+                    let n = self.run_bdrmap_cycle(vi, t);
+                    let vp = &mut self.vps[vi];
+                    if n == 0 {
+                        // The VP's view collapsed (uplink outage, first-hop
+                        // reboot): bounded retry instead of a dead 2 days.
+                        vp.last_cycle = None;
+                        vp.cycle_backoff.note_failure(t);
+                    } else {
+                        vp.cycle_backoff.note_success();
+                    }
                 }
             }
             for vp in self.vps.iter_mut().filter(|v| v.active) {
-                let samples = vp.tslp.probe_round(&self.world.net, &mut vp.sim, t, &self.store);
-                if Self::note_round_health(vp, &samples, self.cfg.reactive_mismatch_rounds) {
-                    // Reactive update (§3.2): refresh the probing set now.
-                    vp.last_cycle = None;
+                // Host churn driven by the fault schedule (§3): the VP is
+                // withdrawn; history remains, probing stops.
+                if self.world.net.fault.vp_retired(vp.handle.router, t) {
+                    vp.active = false;
+                    continue;
                 }
+                Self::round_with_health(
+                    vp,
+                    &self.world.net,
+                    &self.store,
+                    &self.cfg,
+                    t,
+                );
             }
             rounds += 1;
             t += ROUND_SECS;
         }
         rounds
+    }
+
+    /// One TSLP round for one VP under the health machine: skip tasks whose
+    /// machine says not to probe, fold far-end outcomes back in, and write
+    /// the round's quality annotations.
+    fn round_with_health(
+        vp: &mut VpRuntime,
+        net: &manic_netsim::Network,
+        store: &Store,
+        cfg: &SystemConfig,
+        t: SimTime,
+    ) {
+        use std::collections::{HashMap, HashSet};
+        let probe_mask: Vec<bool> = vp
+            .tslp
+            .tasks
+            .iter()
+            .map(|task| {
+                vp.health
+                    .get(&(task.near_ip, task.far_ip))
+                    .is_none_or(|h| h.should_probe(t))
+            })
+            .collect();
+        // Skipped tasks get their window flagged: a gap the prober chose.
+        for (ti, task) in vp.tslp.tasks.iter().enumerate() {
+            if !probe_mask[ti] {
+                for end in [End::Near, End::Far] {
+                    store.annotate(
+                        &series_key(&vp.handle.name, task, end),
+                        t,
+                        t + ROUND_SECS,
+                        quality::QUARANTINED | quality::GAP,
+                    );
+                }
+            }
+        }
+        let samples =
+            vp.tslp
+                .probe_round_masked(net, &mut vp.sim, t, store, |ti| probe_mask[ti]);
+
+        let mut far_ok: HashMap<usize, bool> = HashMap::new();
+        let mut near_ok: HashMap<usize, bool> = HashMap::new();
+        let mut mismatched: HashSet<(usize, End)> = HashSet::new();
+        for (ti, s) in &samples {
+            let slot = match s.end {
+                End::Far => far_ok.entry(*ti).or_insert(false),
+                End::Near => near_ok.entry(*ti).or_insert(false),
+            };
+            *slot |= s.rtt_ms.is_some();
+            if s.mismatched {
+                mismatched.insert((*ti, s.end));
+            }
+        }
+        for (ti, task) in vp.tslp.tasks.iter().enumerate() {
+            let Some(&ok) = far_ok.get(&ti) else { continue };
+            let key = (task.near_ip, task.far_ip);
+            // Jitter stream per task so quarantined tasks re-probe
+            // desynchronized rather than in lockstep bursts.
+            let stream = task.far_ip.0 as u64 ^ ((task.near_ip.0 as u64) << 32);
+            vp.health
+                .entry(key)
+                .or_default()
+                .observe(ok, t, &cfg.health, net.seed, stream);
+            if mismatched.contains(&(ti, End::Far)) {
+                // Response from the wrong address: renumbering or a moved
+                // route. Samples were already discarded; flag the window so
+                // any adjacent inference treats it as untrustworthy.
+                store.annotate(
+                    &series_key(&vp.handle.name, task, End::Far),
+                    t,
+                    t + ROUND_SECS,
+                    quality::RENUMBERED,
+                );
+            } else if !ok && near_ok.get(&ti).copied().unwrap_or(false) {
+                // Far end dark while the near end (same path prefix, same
+                // probes) answers: the classic ICMP rate-limiting signature
+                // (§5.2), not path loss.
+                store.annotate(
+                    &series_key(&vp.handle.name, task, End::Far),
+                    t,
+                    t + ROUND_SECS,
+                    quality::SUSPECT_RATE_LIMITED,
+                );
+            }
+        }
+        if Self::note_round_health(vp, &samples, cfg.reactive_mismatch_rounds) {
+            // Reactive update (§3.2): refresh the probing set now.
+            vp.last_cycle = None;
+        }
     }
 
     /// §3.3 reactive selection: pick links whose far-end TSLP series shows a
@@ -280,7 +409,12 @@ impl System {
             let bins =
                 self.store
                     .downsample_dense(&key, from, to, ROUND_SECS, Aggregate::Min);
-            let shifts = detect_level_shifts(&bins, &self.cfg.levelshift);
+            // Quality-masked detection: windows the control loop flagged
+            // (quarantine gaps, renumbering, suspected rate limiting) must
+            // yield *no inference*, not a fabricated level shift.
+            let qual = self.store.quality_dense(&key, from, to, ROUND_SECS);
+            let shifts =
+                detect_level_shifts_masked(&bins, &qual, DEFAULT_REJECT, &self.cfg.levelshift);
             if shifts.is_empty() {
                 continue;
             }

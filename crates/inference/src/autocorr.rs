@@ -168,7 +168,7 @@ pub fn analyze_window(
 ) -> AutocorrResult {
     assert_eq!(near.len(), far.len(), "near/far series must align");
     assert!(
-        far.len() % INTERVALS_PER_DAY == 0,
+        far.len().is_multiple_of(INTERVALS_PER_DAY),
         "series must cover whole days of 96 intervals"
     );
     let ndays = far.len() / INTERVALS_PER_DAY;

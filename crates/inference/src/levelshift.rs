@@ -73,6 +73,8 @@ pub fn detect_level_shifts(series: &[Option<f64>], cfg: &LevelShiftConfig) -> Ve
 
     // Average moving-window variance -> sigma^2.
     let sigma2 = moving_variance(&xs, cfg.l);
+    // NaN-aware: a NaN variance must bail out, so not `sigma2 < 0.0`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(sigma2 >= 0.0) {
         return Vec::new();
     }

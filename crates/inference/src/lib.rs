@@ -17,10 +17,12 @@
 
 pub mod autocorr;
 pub mod levelshift;
+pub mod mask;
 pub mod merge;
 pub mod returnpath;
 
 pub use autocorr::{analyze_window, AutocorrConfig, AutocorrResult, DayEstimate, RejectReason};
 pub use levelshift::{detect_level_shifts, Episode, LevelShiftConfig};
+pub use mask::{apply_quality_mask, detect_level_shifts_masked, DEFAULT_REJECT};
 pub use merge::merge_day_estimates;
 pub use returnpath::{correlate_signatures, elevation_signature, SignatureMatch};

@@ -1,0 +1,123 @@
+//! Quality masking: degraded windows produce *no inference*, not false ones.
+//!
+//! The detectors in this crate read dense `Option<f64>` bins. A bin that is
+//! `None` because the link was congested enough to drop every probe carries
+//! signal; a bin that is `None` (or worse, populated with suspect samples)
+//! because the task was quarantined, the far interface renumbered, or the
+//! router rate-limited carries none — and, adjacent to valid data, fabricates
+//! exactly the step edges the CUSUM detector looks for. Masking replaces
+//! bins overlapping flagged quality windows with `None` *before* detection,
+//! and the level-shift wrapper additionally drops episodes whose boundaries
+//! touch masked bins.
+
+use crate::levelshift::{detect_level_shifts, Episode, LevelShiftConfig};
+use manic_tsdb::quality::QualityFlags;
+
+/// The flags that invalidate a bin for latency inference. Suspect rate
+/// limiting is included: such bins are far-end-dark by definition, and any
+/// stray sample inside them is untrustworthy.
+pub const DEFAULT_REJECT: QualityFlags = manic_tsdb::quality::GAP
+    | manic_tsdb::quality::SUSPECT_RATE_LIMITED
+    | manic_tsdb::quality::RENUMBERED
+    | manic_tsdb::quality::QUARANTINED;
+
+/// Blank out every bin whose quality flags intersect `reject`.
+/// `bins` and `quality` must share the bin layout (same start/width), as
+/// produced by `Store::downsample_dense` / `Store::quality_dense`.
+pub fn apply_quality_mask(
+    bins: &mut [Option<f64>],
+    quality: &[QualityFlags],
+    reject: QualityFlags,
+) {
+    assert_eq!(bins.len(), quality.len(), "bins and quality must align");
+    for (b, &q) in bins.iter_mut().zip(quality) {
+        if q & reject != 0 {
+            *b = None;
+        }
+    }
+}
+
+/// Level-shift detection over quality-annotated bins: masks rejected bins,
+/// runs the CUSUM detector, then discards episodes that begin or end on the
+/// edge of a masked region (a level "shift" whose far side is fabricated by
+/// missing data is not evidence of congestion onset).
+pub fn detect_level_shifts_masked(
+    bins: &[Option<f64>],
+    quality: &[QualityFlags],
+    reject: QualityFlags,
+    cfg: &LevelShiftConfig,
+) -> Vec<Episode> {
+    let mut masked: Vec<Option<f64>> = bins.to_vec();
+    apply_quality_mask(&mut masked, quality, reject);
+    let episodes = detect_level_shifts(&masked, cfg);
+    episodes
+        .into_iter()
+        .filter(|e| {
+            let touches = |idx: usize| {
+                let lo = idx.saturating_sub(1);
+                let hi = (idx + 1).min(quality.len().saturating_sub(1));
+                (lo..=hi).any(|i| quality[i] & reject != 0)
+            };
+            !(touches(e.start) || touches(e.end.saturating_sub(1)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manic_tsdb::quality::{QUARANTINED, RENUMBERED};
+
+    #[test]
+    fn mask_blanks_only_rejected_bins() {
+        let mut bins = vec![Some(1.0), Some(2.0), Some(3.0), None];
+        let quality = vec![0, QUARANTINED, RENUMBERED, 0];
+        apply_quality_mask(&mut bins, &quality, QUARANTINED);
+        assert_eq!(bins, vec![Some(1.0), None, Some(3.0), None]);
+    }
+
+    fn step_series(n: usize, edge: usize, low: f64, high: f64) -> Vec<Option<f64>> {
+        (0..n).map(|i| Some(if i < edge { low } else { high })).collect()
+    }
+
+    #[test]
+    fn clean_step_is_detected_and_survives_clean_quality() {
+        let cfg = LevelShiftConfig::default();
+        let bins = step_series(96, 48, 20.0, 45.0);
+        let quality = vec![0; 96];
+        let clean = detect_level_shifts_masked(&bins, &quality, DEFAULT_REJECT, &cfg);
+        assert!(!clean.is_empty(), "genuine step must still be found");
+    }
+
+    #[test]
+    fn step_fabricated_by_quarantine_is_suppressed() {
+        let cfg = LevelShiftConfig::default();
+        // Constant 20ms series, but a quarantined stretch in the middle was
+        // polluted with garbage samples (e.g. written before the quarantine
+        // annotation landed).
+        let mut bins = step_series(96, 96, 20.0, 20.0);
+        let mut quality = vec![0u8; 96];
+        for i in 40..60 {
+            bins[i] = Some(60.0);
+            quality[i] = QUARANTINED;
+        }
+        let unmasked = detect_level_shifts(&bins, &cfg);
+        assert!(!unmasked.is_empty(), "garbage fabricates a shift without masking");
+        let masked = detect_level_shifts_masked(&bins, &quality, DEFAULT_REJECT, &cfg);
+        assert!(masked.is_empty(), "masking turns it into no-inference: {masked:?}");
+    }
+
+    #[test]
+    fn episode_bordering_masked_region_is_dropped() {
+        let cfg = LevelShiftConfig::default();
+        // Valid-looking step, but everything after the edge is renumbered:
+        // the "elevated" samples come from a different interface.
+        let bins = step_series(96, 48, 20.0, 45.0);
+        let mut quality = vec![0u8; 96];
+        for q in quality.iter_mut().skip(48) {
+            *q = RENUMBERED;
+        }
+        let masked = detect_level_shifts_masked(&bins, &quality, DEFAULT_REJECT, &cfg);
+        assert!(masked.is_empty(), "{masked:?}");
+    }
+}

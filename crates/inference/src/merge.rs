@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn single_vp_passthrough() {
         let vp1 = vec![est(0, 4), est(1, 5)];
-        let m = merge_day_estimates(&[vp1.clone()]);
+        let m = merge_day_estimates(std::slice::from_ref(&vp1));
         assert_eq!(m, vp1);
     }
 

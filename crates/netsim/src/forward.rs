@@ -12,6 +12,7 @@
 //! asymmetric return paths and return-path congestion behave exactly as the
 //! paper describes (§7).
 
+use crate::fault::FaultSchedule;
 use crate::fib::{ecmp_pick, Fib};
 use crate::icmp::RateLimiter;
 use crate::ip::Ipv4;
@@ -120,18 +121,19 @@ pub struct Network {
     pub topo: Topology,
     epochs: Vec<(SimTime, Vec<Fib>)>,
     pub seed: u64,
-    /// Global fault injection: additional probability that any probe (or its
-    /// reply) is dropped on each link crossing, independent of link state.
-    /// Zero in normal operation; robustness tests raise it (in the spirit of
-    /// smoltcp's `--drop-chance` examples).
-    pub fault_drop_prob: f64,
+    /// Fault injection: a deterministic schedule of timed failures (extra
+    /// loss, interface silence, router reboots, ICMP rate-limit tightening,
+    /// route flaps, renumbering, clock skew) consumed on every probe.
+    /// Empty in normal operation; robustness tests install events (the old
+    /// global drop knob is `FaultKind::ExtraLoss` at `FaultScope::Global`).
+    pub fault: FaultSchedule,
 }
 
 impl Network {
     /// Create a network with an initial routing epoch active from t=-inf.
     pub fn new(topo: Topology, fibs: Vec<Fib>, seed: u64) -> Self {
         assert_eq!(fibs.len(), topo.routers.len(), "one FIB per router");
-        Network { topo, epochs: vec![(SimTime::MIN, fibs)], seed, fault_drop_prob: 0.0 }
+        Network { topo, epochs: vec![(SimTime::MIN, fibs)], seed, fault: FaultSchedule::new() }
     }
 
     /// Install a new routing epoch activating at `t` (must be the latest).
@@ -234,8 +236,11 @@ impl Network {
         state: &mut SimState,
     ) -> Option<f64> {
         let l = self.topo.link(link);
+        if self.fault.link_blocked(&self.topo, link, t) {
+            return None;
+        }
         let ls = self.link_state(link, dir, t);
-        let p = ls.loss + self.fault_drop_prob;
+        let p = ls.loss + self.fault.extra_loss(link, t);
         if p > 0.0 && noise::bernoulli(self.seed ^ 0x10_55, link.0 as u64, state.next(), p) {
             return None;
         }
@@ -274,6 +279,9 @@ impl Network {
         t: SimTime,
         state: &mut SimState,
     ) -> Option<f64> {
+        if self.fault.icmp_suppressed(router, t) {
+            return None;
+        }
         let prof = &self.topo.router(router).icmp;
         if prof.unresponsive_prob > 0.0
             && noise::bernoulli(self.seed ^ 0x1C_3F, router.0 as u64, state.next(), prof.unresponsive_prob)
@@ -287,8 +295,14 @@ impl Network {
                 return None;
             }
         }
-        if let Some(pps) = prof.rate_limit_pps {
-            let burst = prof.rate_limit_burst;
+        // Injected rate-limit tightening composes with the router's own
+        // profile: the smaller pps wins.
+        let limit = match (prof.rate_limit_pps, self.fault.icmp_limit(router, t)) {
+            (Some(own), Some((inj, ib))) if inj < own => Some((inj, ib)),
+            (Some(own), _) => Some((own, prof.rate_limit_burst)),
+            (None, inj) => inj,
+        };
+        if let Some((pps, burst)) = limit {
             let rl = state
                 .limiters
                 .entry(router)
@@ -364,9 +378,14 @@ impl Network {
         if ttl == 0 {
             return ProbeStatus::Lost;
         }
+        // A VP with a skewed clock reports every RTT offset by the skew.
+        let skew = self.fault.clock_skew_ms(spec.src, t);
         for _ in 0..MAX_HOPS {
             if self.topo.terminates(cur, spec.dst) && cur != spec.src {
                 // Destination host answers the echo.
+                if self.fault.silent_addr(&self.topo, spec.dst, t) {
+                    return ProbeStatus::Lost;
+                }
                 let Some(gen) = self.icmp_generate(cur, t, state) else {
                     return ProbeStatus::Lost;
                 };
@@ -375,7 +394,8 @@ impl Network {
                 else {
                     return ProbeStatus::Lost;
                 };
-                return ProbeStatus::EchoReply { from: spec.dst, rtt_ms: fwd + gen + rev };
+                let from = self.fault.renumbered(&self.topo, spec.dst, t);
+                return ProbeStatus::EchoReply { from, rtt_ms: fwd + gen + rev + skew };
             }
             let Some((link, dir, next, ingress)) =
                 self.forward_hop(cur, spec.dst, spec.src_addr, spec.flow_id, t)
@@ -391,6 +411,9 @@ impl Network {
             if ttl == 0 && !self.topo.terminates(cur, spec.dst) {
                 // Time exceeded at `cur`; response sourced from the ingress
                 // interface the packet arrived on.
+                if self.fault.silent_addr(&self.topo, ingress, t) {
+                    return ProbeStatus::Lost;
+                }
                 let Some(gen) = self.icmp_generate(cur, t, state) else {
                     return ProbeStatus::Lost;
                 };
@@ -399,7 +422,10 @@ impl Network {
                 else {
                     return ProbeStatus::Lost;
                 };
-                return ProbeStatus::TimeExceeded { from: ingress, rtt_ms: fwd + gen + rev };
+                // Renumbering rewrites the source address the reply carries;
+                // the reply still routes from the real interface.
+                let from = self.fault.renumbered(&self.topo, ingress, t);
+                return ProbeStatus::TimeExceeded { from, rtt_ms: fwd + gen + rev + skew };
             }
         }
         // Forwarding loop or path longer than MAX_HOPS.
@@ -417,14 +443,14 @@ mod tests {
     use crate::traffic::ConstantLoad;
     use std::sync::Arc;
 
-    fn ip(s: &str) -> Ipv4 {
+    pub(super) fn ip(s: &str) -> Ipv4 {
         s.parse().unwrap()
     }
 
     /// Chain: host(vp) -- r1 -- r2 ==interdomain== r3 -- dsthost(10.9.0.0/24)
     /// The r2--r3 link gets a configurable load model in the r2->r3 direction
     /// via `fwd_util` and in the r3->r2 (reply) direction via `rev_util`.
-    fn chain(fwd_util: f64, rev_util: f64) -> (Network, RouterId) {
+    pub(super) fn chain(fwd_util: f64, rev_util: f64) -> (Network, RouterId) {
         let mut t = Topology::new();
         let vp = t.add_router(AsNumber(100), "vp", "nyc", -5, IcmpProfile::default());
         let r1 = t.add_router(AsNumber(100), "r1", "nyc", -5, IcmpProfile::default());
@@ -476,11 +502,15 @@ mod tests {
     }
 
     fn probe(net: &Network, vp: RouterId, ttl: u8) -> ProbeStatus {
+        probe_at(net, vp, ttl, 0)
+    }
+
+    pub(super) fn probe_at(net: &Network, vp: RouterId, ttl: u8, t: SimTime) -> ProbeStatus {
         let mut st = SimState::new();
         net.send_probe(
             &mut st,
             ProbeSpec { src: vp, src_addr: ip("10.0.0.10"), dst: ip("10.9.0.5"), ttl, flow_id: 42 },
-            0,
+            t,
         )
     }
 
@@ -682,6 +712,131 @@ mod tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::tests::{chain, ip, probe_at};
+    use super::*;
+    use crate::fault::{FaultEvent, FaultKind, FaultScope};
+    use crate::topo::IfaceId;
+
+    #[test]
+    fn iface_silence_eats_probes_for_its_window_only() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        // Silence r2's ingress iface 10.0.1.2 (iface index 3) over [100, 200).
+        net.fault.push(FaultEvent::window(
+            FaultKind::IfaceSilence,
+            FaultScope::Iface(IfaceId(3)),
+            100,
+            200,
+        ));
+        assert!(probe_at(&net, vp, 2, 50).rtt().is_some(), "before the window");
+        assert_eq!(probe_at(&net, vp, 2, 150), ProbeStatus::Lost, "inside it");
+        assert!(probe_at(&net, vp, 2, 250).rtt().is_some(), "after it");
+        // Forwarding through the silent interface is unaffected.
+        assert!(probe_at(&net, vp, 3, 150).rtt().is_some());
+    }
+
+    #[test]
+    fn reboot_blacks_out_then_rebuilds_then_recovers() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        // r2 (router index 2) down over [1000, 1120), rebuilding until 1420.
+        net.fault.push(FaultEvent::window(
+            FaultKind::RouterReboot { rebuild_secs: 300 },
+            FaultScope::Router(RouterId(2)),
+            1000,
+            1120,
+        ));
+        // Down: nothing beyond r1 is reachable (r2 forwards nothing).
+        assert!(probe_at(&net, vp, 1, 1050).rtt().is_some(), "r1 unaffected");
+        assert_eq!(probe_at(&net, vp, 2, 1050), ProbeStatus::Lost);
+        assert_eq!(probe_at(&net, vp, 10, 1050), ProbeStatus::Lost, "transit dead");
+        // Rebuild: forwarding is back but r2's control plane stays dark.
+        assert_eq!(probe_at(&net, vp, 2, 1200), ProbeStatus::Lost, "ICMP silent");
+        assert!(probe_at(&net, vp, 3, 1200).rtt().is_some(), "forwards again");
+        assert!(probe_at(&net, vp, 10, 1200).rtt().is_some());
+        // Fully recovered.
+        assert!(probe_at(&net, vp, 2, 1500).rtt().is_some());
+    }
+
+    #[test]
+    fn renumber_reports_the_alias() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        let alias = ip("192.168.0.7");
+        net.fault.push(FaultEvent::window(
+            FaultKind::Renumber { alias },
+            FaultScope::Iface(IfaceId(3)), // 10.0.1.2, r2's ingress
+            100,
+            200,
+        ));
+        match probe_at(&net, vp, 2, 150) {
+            ProbeStatus::TimeExceeded { from, .. } => assert_eq!(from, alias),
+            other => panic!("{other:?}"),
+        }
+        match probe_at(&net, vp, 2, 250) {
+            ProbeStatus::TimeExceeded { from, .. } => assert_eq!(from, ip("10.0.1.2")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_rate_limit_tightens_unlimited_router() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        net.fault.push(FaultEvent::always(
+            FaultKind::IcmpRateLimit { pps: 1.0, burst: 2.0 },
+            FaultScope::Router(RouterId(2)),
+        ));
+        let mut st = SimState::new();
+        let ok = (0..10)
+            .filter(|_| {
+                net.send_probe(
+                    &mut st,
+                    ProbeSpec {
+                        src: vp,
+                        src_addr: ip("10.0.0.10"),
+                        dst: ip("10.9.0.5"),
+                        ttl: 2,
+                        flow_id: 9,
+                    },
+                    0, // all at the same instant
+                )
+                .rtt()
+                .is_some()
+            })
+            .count();
+        assert_eq!(ok, 2, "only the injected burst passes");
+    }
+
+    #[test]
+    fn clock_skew_offsets_reported_rtt() {
+        let (clean, vp) = chain(0.1, 0.1);
+        let (mut skewed, _) = chain(0.1, 0.1);
+        skewed.fault.push(FaultEvent::always(
+            FaultKind::ClockSkew { ms: 25.0 },
+            FaultScope::Router(vp),
+        ));
+        let base = probe_at(&clean, vp, 2, 0).rtt().unwrap();
+        let off = probe_at(&skewed, vp, 2, 0).rtt().unwrap();
+        assert!((off - base - 25.0).abs() < 1e-9, "{base} -> {off}");
+    }
+
+    #[test]
+    fn route_flap_takes_the_link_down_periodically() {
+        let (mut net, vp) = chain(0.1, 0.1);
+        // Flap the interdomain r2--r3 link (LinkId 2): 60s up, 60s down.
+        net.fault.push(FaultEvent::window(
+            FaultKind::RouteFlap { up_secs: 60, down_secs: 60 },
+            FaultScope::Link(LinkId(2)),
+            0,
+            100_000,
+        ));
+        assert!(probe_at(&net, vp, 10, 30).rtt().is_some(), "up phase");
+        assert_eq!(probe_at(&net, vp, 10, 90), ProbeStatus::Lost, "down phase");
+        assert!(probe_at(&net, vp, 10, 130).rtt().is_some(), "up again");
+        // The near side of the link never crosses it.
+        assert!(probe_at(&net, vp, 2, 90).rtt().is_some());
+    }
+}
+
+#[cfg(test)]
 mod rr_tests {
     use super::*;
     use crate::icmp::IcmpProfile;
@@ -756,7 +911,10 @@ mod rr_tests {
         assert!(ok >= 98, "{ok}/100");
         // With a 5% per-crossing fault over ~22 crossings, most probes die.
         let mut faulty = net;
-        faulty.fault_drop_prob = 0.05;
+        faulty.fault.push(crate::fault::FaultEvent::always(
+            crate::fault::FaultKind::ExtraLoss { prob: 0.05 },
+            crate::fault::FaultScope::Global,
+        ));
         let mut st = SimState::new();
         let ok = (0..100)
             .filter(|&i| {

@@ -4,12 +4,11 @@
 //! trace accidentally leaking into logs can never be confused with a real
 //! Internet address.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// An IPv4 address, stored as its 32-bit big-endian integer value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ipv4(pub u32);
 
 impl Ipv4 {
@@ -63,7 +62,7 @@ impl FromStr for Ipv4 {
 }
 
 /// A CIDR prefix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Prefix {
     addr: Ipv4,
     len: u8,
@@ -94,6 +93,9 @@ impl Prefix {
         self.addr
     }
 
+    /// The mask length; a `/0` is the (non-empty) default route, so there
+    /// is deliberately no `is_empty` counterpart.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

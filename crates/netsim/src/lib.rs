@@ -25,6 +25,7 @@
 //! Everything is deterministic. Randomness (probe jitter, loss draws, ICMP
 //! slow paths) comes from counter-hashed noise seeded once per simulation.
 
+pub mod fault;
 pub mod fib;
 pub mod forward;
 pub mod icmp;
@@ -35,6 +36,7 @@ pub mod time;
 pub mod topo;
 pub mod traffic;
 
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultScope};
 pub use fib::{Fib, FibEntry};
 pub use forward::{HopObservation, Network, ProbeKind, ProbeSpec, ProbeStatus, SimState};
 pub use icmp::{IcmpProfile, RateLimiter};

@@ -14,7 +14,6 @@
 
 use crate::noise;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Instantaneous state of one link direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +34,7 @@ impl LinkState {
 }
 
 /// Parameters of the queue model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct QueueModel {
     /// Maximum standing-queue delay (buffer depth in time units), ms.
     /// Typical peering-router buffers add tens of milliseconds; the paper's

@@ -8,7 +8,6 @@
 //! peak-hours comparison), so this module provides a small proleptic
 //! Gregorian calendar with no external dependencies.
 
-use serde::{Deserialize, Serialize};
 
 /// Seconds since 2016-01-01 00:00:00 UTC.
 pub type SimTime = i64;
@@ -21,7 +20,7 @@ pub const SECS_PER_DAY: i64 = 86_400;
 const EPOCH_DAYS_FROM_UNIX: i64 = 16_801;
 
 /// A civil calendar date.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Date {
     pub year: i32,
     /// 1-12.

@@ -166,7 +166,7 @@ impl LossProber {
                     let stream = ((tgt.far_ip.0 as u64) << 2)
                         | matches!(end, End::Far) as u64
                         | ((ti as u64) << 40);
-                    let g = noise::gaussian(net.seed ^ 0x1055_AA, stream, w as u64);
+                    let g = noise::gaussian(net.seed ^ 0x0010_55AA, stream, w as u64);
                     let lost =
                         (n * p_loss + (n * p_loss * (1.0 - p_loss)).sqrt() * g).round().clamp(0.0, n);
                     samples.push((

@@ -33,6 +33,8 @@ pub struct VpHandle {
 /// The resolved path of one TTL-limited probe under fixed routing.
 #[derive(Debug, Clone)]
 pub struct ProbePath {
+    /// The VP router the probe is sourced from (clock-skew faults key on it).
+    pub src: RouterId,
     /// Links crossed by the probe until TTL expiry, with direction.
     pub forward: Vec<(LinkId, Direction)>,
     /// Links crossed by the ICMP reply.
@@ -49,7 +51,7 @@ impl ProbePath {
     /// Minimum RTT a probe sent at `t` could observe: baseline plus the
     /// standing queue delay on every link crossed in either direction.
     pub fn min_rtt(&self, net: &Network, t: SimTime) -> f64 {
-        let mut rtt = self.base_ms;
+        let mut rtt = self.base_ms + net.fault.clock_skew_ms(self.src, t);
         for &(l, d) in self.forward.iter().chain(&self.reply) {
             rtt += net.link_state(l, d, t).queue_ms;
         }
@@ -63,16 +65,37 @@ impl ProbePath {
     pub fn response_prob(&self, net: &Network, t: SimTime, offered_pps: f64) -> f64 {
         let mut p = 1.0;
         for &(l, d) in self.forward.iter().chain(&self.reply) {
-            p *= (1.0 - net.link_state(l, d, t).loss) * (1.0 - net.fault_drop_prob);
+            if net.fault.link_blocked(&net.topo, l, t) {
+                return 0.0;
+            }
+            p *= (1.0 - net.link_state(l, d, t).loss - net.fault.extra_loss(l, t)).max(0.0);
+        }
+        p * self.responder_prob(net, t, offered_pps)
+    }
+
+    /// The responder's contribution to delivery probability: ICMP profile
+    /// behaviour plus injected faults (silence, reboot blackout, renumbering
+    /// — a response from an unexpected alias is no valid sample).
+    fn responder_prob(&self, net: &Network, t: SimTime, offered_pps: f64) -> f64 {
+        if net.fault.icmp_suppressed(self.responder, t)
+            || net.fault.silent_addr(&net.topo, self.responder_addr, t)
+            || net.fault.renumbered(&net.topo, self.responder_addr, t) != self.responder_addr
+        {
+            return 0.0;
         }
         let prof = &net.topo.router(self.responder).icmp;
-        p *= 1.0 - prof.unresponsive_prob;
+        let mut p = 1.0 - prof.unresponsive_prob;
         if let Some(flaky) = prof.flaky {
             if flaky.is_flaky_now(net.seed, self.responder.0 as u64, t) {
                 p *= 1.0 - flaky.drop_prob;
             }
         }
-        if let Some(limit) = prof.rate_limit_pps {
+        let limit = match (prof.rate_limit_pps, net.fault.icmp_limit(self.responder, t)) {
+            (Some(own), Some((inj, _))) => Some(own.min(inj)),
+            (Some(own), None) => Some(own),
+            (None, inj) => inj.map(|(pps, _)| pps),
+        };
+        if let Some(limit) = limit {
             if offered_pps > limit {
                 p *= limit / offered_pps;
             }
@@ -83,26 +106,18 @@ impl ProbePath {
     /// Both [`Self::min_rtt`] and [`Self::response_prob`] in one pass — the
     /// longitudinal fast path calls this once per (path, bin).
     pub fn rtt_and_prob(&self, net: &Network, t: SimTime, offered_pps: f64) -> (f64, f64) {
-        let mut rtt = self.base_ms;
+        let mut rtt = self.base_ms + net.fault.clock_skew_ms(self.src, t);
         let mut p = 1.0;
         for &(l, d) in self.forward.iter().chain(&self.reply) {
             let s = net.link_state(l, d, t);
             rtt += s.queue_ms;
-            p *= (1.0 - s.loss) * (1.0 - net.fault_drop_prob);
-        }
-        let prof = &net.topo.router(self.responder).icmp;
-        p *= 1.0 - prof.unresponsive_prob;
-        if let Some(flaky) = prof.flaky {
-            if flaky.is_flaky_now(net.seed, self.responder.0 as u64, t) {
-                p *= 1.0 - flaky.drop_prob;
+            if net.fault.link_blocked(&net.topo, l, t) {
+                p = 0.0;
+            } else {
+                p *= (1.0 - s.loss - net.fault.extra_loss(l, t)).max(0.0);
             }
         }
-        if let Some(limit) = prof.rate_limit_pps {
-            if offered_pps > limit {
-                p *= limit / offered_pps;
-            }
-        }
-        (rtt, p)
+        (rtt, p * self.responder_prob(net, t, offered_pps))
     }
 
     /// Does the probe cross `link` on its forward leg?
@@ -160,7 +175,7 @@ pub fn probe_path(
     for &(l, _) in forward.iter().chain(&reply) {
         base_ms += net.topo.link(l).prop_delay_ms;
     }
-    Some(ProbePath { forward, reply, responder, responder_addr, base_ms })
+    Some(ProbePath { src: vp.router, forward, reply, responder, responder_addr, base_ms })
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ const GAP_LIMIT: usize = 5;
 
 /// Run one traceroute. `attempts` probes are sent per TTL before recording
 /// an unresponsive hop.
+#[allow(clippy::too_many_arguments)]
 pub fn trace(
     net: &Network,
     state: &mut SimState,

@@ -18,7 +18,7 @@ use manic_netsim::{Ipv4, Network, ProbeSpec, ProbeStatus, SimState};
 use manic_tsdb::{SeriesKey, Store, TagSet};
 
 /// Which end of the link a sample measured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum End {
     Near,
     Far,
@@ -86,6 +86,10 @@ pub struct TslpProber {
 pub const ROUND_SECS: i64 = 300;
 /// TSLP probing budget per VP (§3.1: 100 packets per second).
 pub const TSLP_PPS: f64 = 100.0;
+/// Per-probe timeout: a reply slower than this is treated as loss (scamper's
+/// default wait). Guards against pathological simulated paths (heavy clock
+/// skew, saturated reply queues) poisoning min-RTT series.
+pub const PROBE_TIMEOUT_MS: f64 = 3_000.0;
 
 impl TslpProber {
     pub fn new(vp: VpHandle, start: SimTime) -> Self {
@@ -136,8 +140,26 @@ impl TslpProber {
         round_start: SimTime,
         store: &Store,
     ) -> Vec<(usize, TslpSample)> {
+        self.probe_round_masked(net, state, round_start, store, |_| true)
+    }
+
+    /// [`Self::probe_round`] restricted to tasks the health machine wants
+    /// probed this round: `mask(ti)` decides per task index. Skipped tasks
+    /// consume no probing budget and produce no samples — the caller is
+    /// responsible for annotating the resulting gap in the tsdb.
+    pub fn probe_round_masked(
+        &mut self,
+        net: &Network,
+        state: &mut SimState,
+        round_start: SimTime,
+        store: &Store,
+        mask: impl Fn(usize) -> bool,
+    ) -> Vec<(usize, TslpSample)> {
         let mut out = Vec::new();
         for ti in 0..self.tasks.len() {
+            if !mask(ti) {
+                continue;
+            }
             let task = self.tasks[ti].clone();
             for dest in &task.dests {
                 for (end, ttl, expect) in [
@@ -159,7 +181,11 @@ impl TslpProber {
                     let sample = match status {
                         ProbeStatus::TimeExceeded { from, rtt_ms }
                         | ProbeStatus::EchoReply { from, rtt_ms } => {
-                            if from == expect {
+                            if rtt_ms > PROBE_TIMEOUT_MS {
+                                // Reply arrived after the per-probe timeout:
+                                // counted as loss, like a real prober would.
+                                TslpSample { t, end, rtt_ms: None, mismatched: false }
+                            } else if from == expect {
                                 TslpSample { t, end, rtt_ms: Some(rtt_ms), mismatched: false }
                             } else {
                                 TslpSample { t, end, rtt_ms: None, mismatched: true }

@@ -10,6 +10,10 @@
 //!
 //! All routines operate on `f64` slices and are deterministic.
 
+// Guards of the form `!(x > 0.0)` are NaN-aware on purpose: a NaN
+// variance or weight sum must take the degenerate branch.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 pub mod acf;
 pub mod binomial;
 pub mod cusum;

@@ -102,7 +102,7 @@ proptest! {
         let k = k % xs.len();
         let r = autocorrelation(&xs, k);
         if !r.is_nan() {
-            prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9, "r={r}");
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r={r}");
         }
     }
 }

@@ -1,6 +1,5 @@
 //! Series identification: measurement name + sorted tag set.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered set of `tag=value` pairs.
@@ -8,7 +7,7 @@ use std::fmt;
 /// Tags are kept sorted by key so that two tag sets with the same contents
 /// compare and hash identically regardless of insertion order (InfluxDB
 /// semantics).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct TagSet(Vec<(String, String)>);
 
 impl TagSet {
@@ -79,7 +78,7 @@ impl fmt::Display for TagSet {
 }
 
 /// Fully-qualified series identity.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeriesKey {
     pub measurement: String,
     pub tags: TagSet,

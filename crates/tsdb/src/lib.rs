@@ -14,15 +14,17 @@
 //! * retention trimming and CSV/JSON export (the public-data release story
 //!   of §1's contribution 4).
 //!
-//! The store is sharded and guarded by `parking_lot::RwLock`, so concurrent
+//! The store is sharded and guarded by `std::sync::RwLock`, so concurrent
 //! measurement threads can ingest while analysis reads.
 
 pub mod key;
 pub mod lineproto;
+pub mod quality;
 pub mod series;
 pub mod store;
 
 pub use key::{SeriesKey, TagSet};
 pub use lineproto::{format_line, parse_line, LineProtoError};
+pub use quality::{QualityFlags, QualityLog};
 pub use series::{Aggregate, Point, Series};
 pub use store::{Store, TagFilter};

@@ -1,0 +1,144 @@
+//! Series quality annotations.
+//!
+//! Measurements degrade for reasons the inference layer must know about but
+//! the raw points cannot express: a probing task sat in quarantine (no data
+//! is *expected*), the far end looked rate-limited (§5.2's 64-85% corrupted
+//! loss responses), or the responder address changed under the task
+//! (renumbering — samples before/after are not the same interface). Each
+//! condition is a flag attached to a time window of a series; the inference
+//! entry points mask flagged bins to `None` so faults produce "no inference"
+//! instead of false level shifts.
+
+/// Bitmask of quality conditions over a window of a series.
+pub type QualityFlags = u8;
+
+/// No valid samples were expected in the window (task skipped or dark).
+pub const GAP: QualityFlags = 1 << 0;
+/// Far end unanswered while the near end answered — the asymmetry that
+/// indicates ICMP rate limiting rather than path loss (§5.2).
+pub const SUSPECT_RATE_LIMITED: QualityFlags = 1 << 1;
+/// Responses arrived from an unexpected address (interface renumbered or
+/// route shifted off the link, §3.2 visibility loss).
+pub const RENUMBERED: QualityFlags = 1 << 2;
+/// The task's health machine had the series quarantined.
+pub const QUARANTINED: QualityFlags = 1 << 3;
+
+/// Human-readable names of the flags set in `flags`, in bit order.
+pub fn flag_names(flags: QualityFlags) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    if flags & GAP != 0 {
+        out.push("gap");
+    }
+    if flags & SUSPECT_RATE_LIMITED != 0 {
+        out.push("suspect-rate-limited");
+    }
+    if flags & RENUMBERED != 0 {
+        out.push("renumbered");
+    }
+    if flags & QUARANTINED != 0 {
+        out.push("quarantined");
+    }
+    out
+}
+
+/// Annotation windows of one series: `(from, to, flags)`, `to` exclusive.
+/// Windows are kept in insertion order; adjacent same-flag windows are
+/// coalesced on append (the per-round annotation pattern of the control
+/// loop would otherwise grow one entry per five minutes).
+#[derive(Debug, Clone, Default)]
+pub struct QualityLog {
+    windows: Vec<(i64, i64, QualityFlags)>,
+}
+
+impl QualityLog {
+    pub fn annotate(&mut self, from: i64, to: i64, flags: QualityFlags) {
+        if to <= from || flags == 0 {
+            return;
+        }
+        if let Some(last) = self.windows.last_mut() {
+            if last.2 == flags && last.1 == from {
+                last.1 = to;
+                return;
+            }
+        }
+        self.windows.push((from, to, flags));
+    }
+
+    pub fn windows(&self) -> &[(i64, i64, QualityFlags)] {
+        &self.windows
+    }
+
+    /// OR of all flags overlapping `[start, end)`.
+    pub fn flags_over(&self, start: i64, end: i64) -> QualityFlags {
+        self.windows
+            .iter()
+            .filter(|&&(f, t, _)| f < end && start < t)
+            .fold(0, |acc, &(_, _, fl)| acc | fl)
+    }
+
+    /// Per-bin OR of flags across `[start, end)` in `bin_secs` bins.
+    pub fn dense(&self, start: i64, end: i64, bin_secs: i64) -> Vec<QualityFlags> {
+        let nbins = ((end - start).max(0) + bin_secs - 1) / bin_secs;
+        let mut out = vec![0; nbins as usize];
+        for &(f, t, fl) in &self.windows {
+            if t <= start || f >= end {
+                continue;
+            }
+            let b0 = ((f.max(start) - start) / bin_secs).max(0);
+            let b1 = (((t.min(end) - start) + bin_secs - 1) / bin_secs).min(nbins);
+            for b in b0..b1 {
+                out[b as usize] |= fl;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_adjacent_same_flag_windows() {
+        let mut log = QualityLog::default();
+        log.annotate(0, 300, QUARANTINED);
+        log.annotate(300, 600, QUARANTINED);
+        log.annotate(600, 900, GAP);
+        log.annotate(900, 1200, GAP | QUARANTINED);
+        assert_eq!(log.windows().len(), 3, "first two merge");
+        assert_eq!(log.windows()[0], (0, 600, QUARANTINED));
+    }
+
+    #[test]
+    fn empty_and_zero_windows_ignored() {
+        let mut log = QualityLog::default();
+        log.annotate(100, 100, GAP);
+        log.annotate(200, 100, GAP);
+        log.annotate(0, 100, 0);
+        assert!(log.windows().is_empty());
+    }
+
+    #[test]
+    fn flags_over_and_dense() {
+        let mut log = QualityLog::default();
+        log.annotate(300, 600, SUSPECT_RATE_LIMITED);
+        log.annotate(900, 1200, RENUMBERED);
+        assert_eq!(log.flags_over(0, 300), 0);
+        assert_eq!(log.flags_over(0, 301), SUSPECT_RATE_LIMITED);
+        assert_eq!(log.flags_over(500, 1000), SUSPECT_RATE_LIMITED | RENUMBERED);
+        let dense = log.dense(0, 1200, 300);
+        assert_eq!(dense, vec![0, SUSPECT_RATE_LIMITED, 0, RENUMBERED]);
+        // Windows straddling bin edges mark every touched bin.
+        let dense2 = log.dense(0, 1200, 450);
+        assert_eq!(dense2.len(), 3);
+        assert_eq!(dense2[0], SUSPECT_RATE_LIMITED, "300..450 overlap");
+        assert_eq!(dense2[1], SUSPECT_RATE_LIMITED, "450..600 overlap");
+        assert_eq!(dense2[2], RENUMBERED);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(flag_names(GAP | QUARANTINED), vec!["gap", "quarantined"]);
+        assert!(flag_names(0).is_empty());
+    }
+}

@@ -1,10 +1,9 @@
 //! A single time series: sorted `(timestamp, value)` points plus
 //! range/downsampling queries.
 
-use serde::{Deserialize, Serialize};
 
 /// One sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Seconds since the simulation epoch.
     pub t: i64,
@@ -49,7 +48,7 @@ impl Aggregate {
 /// Appends at or after the current tail are O(1); out-of-order inserts fall
 /// back to a binary-search insert. Duplicate timestamps are allowed (TSLP
 /// probes to three destinations in the same round legitimately share a bin).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Series {
     points: Vec<Point>,
 }

@@ -1,11 +1,12 @@
 //! The sharded series store.
 
 use crate::key::{SeriesKey, TagSet};
+use crate::quality::{QualityFlags, QualityLog};
 use crate::series::{Aggregate, Point, Series};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
 
 const SHARDS: usize = 16;
 
@@ -34,6 +35,8 @@ pub type TagFilter = TagSet;
 /// ```
 pub struct Store {
     shards: Vec<RwLock<HashMap<SeriesKey, Series>>>,
+    /// Quality annotations, sharded like the points (see [`crate::quality`]).
+    quality: Vec<RwLock<HashMap<SeriesKey, QualityLog>>>,
 }
 
 impl Default for Store {
@@ -46,18 +49,23 @@ impl Store {
     pub fn new() -> Self {
         Store {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            quality: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         }
     }
 
-    fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, Series>> {
+    fn shard_index(key: &SeriesKey) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, Series>> {
+        &self.shards[Self::shard_index(key)]
     }
 
     /// Append one point to a series, creating the series if needed.
     pub fn write(&self, key: &SeriesKey, t: i64, v: f64) {
-        let mut shard = self.shard(key).write();
+        let mut shard = self.shard(key).write().unwrap();
         shard.entry(key.clone()).or_default().push(t, v);
     }
 
@@ -66,7 +74,7 @@ impl Store {
         if points.is_empty() {
             return;
         }
-        let mut shard = self.shard(key).write();
+        let mut shard = self.shard(key).write().unwrap();
         let series = shard.entry(key.clone()).or_default();
         for p in points {
             series.push(p.t, p.v);
@@ -75,14 +83,14 @@ impl Store {
 
     /// Number of distinct series.
     pub fn series_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     /// Total number of stored points.
     pub fn point_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().values().map(Series::len).sum::<usize>())
+            .map(|s| s.read().unwrap().values().map(Series::len).sum::<usize>())
             .sum()
     }
 
@@ -90,7 +98,7 @@ impl Store {
     pub fn find_series(&self, measurement: &str, filter: &TagFilter) -> Vec<SeriesKey> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.read();
+            let shard = shard.read().unwrap();
             for key in shard.keys() {
                 if key.measurement == measurement && key.tags.matches(filter) {
                     out.push(key.clone());
@@ -103,7 +111,7 @@ impl Store {
 
     /// Raw points of one series in `[start, end)`.
     pub fn query(&self, key: &SeriesKey, start: i64, end: i64) -> Vec<Point> {
-        let shard = self.shard(key).read();
+        let shard = self.shard(key).read().unwrap();
         shard.get(key).map(|s| s.range(start, end).to_vec()).unwrap_or_default()
     }
 
@@ -116,7 +124,7 @@ impl Store {
         bin_secs: i64,
         agg: Aggregate,
     ) -> Vec<Point> {
-        let shard = self.shard(key).read();
+        let shard = self.shard(key).read().unwrap();
         shard
             .get(key)
             .map(|s| s.downsample(start, end, bin_secs, agg))
@@ -132,7 +140,7 @@ impl Store {
         bin_secs: i64,
         agg: Aggregate,
     ) -> Vec<Option<f64>> {
-        let shard = self.shard(key).read();
+        let shard = self.shard(key).read().unwrap();
         match shard.get(key) {
             Some(s) => s.downsample_dense(start, end, bin_secs, agg),
             None => {
@@ -149,6 +157,7 @@ impl Store {
     /// of points written. The production deployment keeps raw five-minute
     /// TSLP samples on a short retention and hour-level rollups for the
     /// longitudinal dashboards; this is that mechanism.
+    #[allow(clippy::too_many_arguments)]
     pub fn rollup(
         &self,
         measurement: &str,
@@ -172,12 +181,45 @@ impl Store {
         written
     }
 
+    /// Attach quality flags to `[from, to)` of one series. Annotations are
+    /// independent of points: a series can be annotated before (or without)
+    /// ever receiving data — a quarantined task writes gaps, not points.
+    pub fn annotate(&self, key: &SeriesKey, from: i64, to: i64, flags: QualityFlags) {
+        let mut shard = self.quality[Self::shard_index(key)].write().unwrap();
+        shard.entry(key.clone()).or_default().annotate(from, to, flags);
+    }
+
+    /// All annotation windows of one series, `(from, to, flags)`.
+    pub fn quality_windows(&self, key: &SeriesKey) -> Vec<(i64, i64, QualityFlags)> {
+        let shard = self.quality[Self::shard_index(key)].read().unwrap();
+        shard.get(key).map(|l| l.windows().to_vec()).unwrap_or_default()
+    }
+
+    /// Per-bin OR of quality flags over `[start, end)` — same bin layout as
+    /// [`Self::downsample_dense`], so the two zip together for masking.
+    pub fn quality_dense(
+        &self,
+        key: &SeriesKey,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+    ) -> Vec<QualityFlags> {
+        let shard = self.quality[Self::shard_index(key)].read().unwrap();
+        match shard.get(key) {
+            Some(l) => l.dense(start, end, bin_secs),
+            None => {
+                let nbins = ((end - start).max(0) + bin_secs - 1) / bin_secs;
+                vec![0; nbins as usize]
+            }
+        }
+    }
+
     /// Apply a retention policy: drop all points older than `cutoff`.
     /// Returns the number of points removed.
     pub fn retain_from(&self, cutoff: i64) -> usize {
         let mut removed = 0;
         for shard in &self.shards {
-            let mut shard = shard.write();
+            let mut shard = shard.write().unwrap();
             for series in shard.values_mut() {
                 removed += series.trim_before(cutoff);
             }
@@ -319,6 +361,30 @@ mod tests {
         let raw = store.query(&SeriesKey::with_tags("tslp", &[("vp", "a"), ("end", "far")]), 0, 3600);
         assert_eq!(raw.len(), 6, "raw samples before the cutoff dropped");
         assert_eq!(store.query(&rolled[0], 0, 3600).len(), 2, "post-cutoff rollup bins remain");
+    }
+
+    #[test]
+    fn annotations_roundtrip_and_align_with_bins() {
+        use crate::quality;
+        let store = Store::new();
+        let k = key("vp1", "L1", "far");
+        // Annotation before any point exists.
+        store.annotate(&k, 300, 600, quality::QUARANTINED);
+        store.annotate(&k, 600, 900, quality::QUARANTINED);
+        store.annotate(&k, 900, 1200, quality::SUSPECT_RATE_LIMITED);
+        assert_eq!(
+            store.quality_windows(&k),
+            vec![(300, 900, quality::QUARANTINED), (900, 1200, quality::SUSPECT_RATE_LIMITED)]
+        );
+        let dense = store.quality_dense(&k, 0, 1200, 300);
+        assert_eq!(
+            dense,
+            vec![0, quality::QUARANTINED, quality::QUARANTINED, quality::SUSPECT_RATE_LIMITED]
+        );
+        // Unannotated series: all clear, same bin count as downsample_dense.
+        let other = key("vp2", "L2", "far");
+        assert_eq!(store.quality_dense(&other, 0, 900, 300), vec![0, 0, 0]);
+        assert!(store.quality_windows(&other).is_empty());
     }
 
     #[test]

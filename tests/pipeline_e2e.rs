@@ -67,7 +67,7 @@ fn inferred_windows_sit_in_local_evening() {
             let t = day * SECS_PER_DAY + iv as i64 * 900;
             let lh = local_hour(t, -5);
             assert!(
-                lh >= 17.0 || lh < 1.5,
+                !(1.5..17.0).contains(&lh),
                 "congested interval at odd local hour {lh:.2}"
             );
         }
@@ -173,7 +173,10 @@ fn inference_robust_to_heavy_probe_loss() {
     // end to end) must not change any classification — TSLP's redundancy is
     // 3-9 samples per 15-minute bin and the min-filter needs only one.
     let mut sys = System::new(toy(9), SystemConfig { trace_attempts: 3, ..Default::default() });
-    sys.world.net.fault_drop_prob = 0.03;
+    sys.world.net.fault.push(manic_netsim::FaultEvent::always(
+        manic_netsim::FaultKind::ExtraLoss { prob: 0.03 },
+        manic_netsim::FaultScope::Global,
+    ));
     let from = date_to_sim(Date::new(2016, 4, 1));
     let cfg = LongitudinalConfig::new(from, from + 60 * SECS_PER_DAY);
     let links = run_longitudinal(&mut sys, &cfg);

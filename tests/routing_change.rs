@@ -47,14 +47,14 @@ fn route_flap_detected_and_probing_state_repaired() {
     let mut fibs: Vec<Fib> = (0..n_routers)
         .map(|r| sys.world.net.fib(RouterId(r as u32), t0).clone())
         .collect();
-    for r in 0..n_routers {
+    for (r, fib) in fibs.iter_mut().enumerate() {
         let router = sys.world.net.topo.router(RouterId(r as u32));
         if router.asn != toy_asns::ACME {
             continue;
         }
         // Reroute CDNCO the way this router already reaches TRANSITCO.
-        if let Some(via) = fibs[r].lookup(transitco_block.addr()).map(|g| g.to_vec()) {
-            fibs[r].insert(cdnco_block, via);
+        if let Some(via) = fib.lookup(transitco_block.addr()).map(|g| g.to_vec()) {
+            fib.insert(cdnco_block, via);
         }
     }
     sys.world.net.add_epoch(t1, fibs);
@@ -123,12 +123,12 @@ fn reactive_update_repairs_within_minutes() {
     let mut fibs: Vec<Fib> = (0..n_routers)
         .map(|r| sys.world.net.fib(RouterId(r as u32), t0).clone())
         .collect();
-    for r in 0..n_routers {
+    for (r, fib) in fibs.iter_mut().enumerate() {
         if sys.world.net.topo.router(RouterId(r as u32)).asn != toy_asns::ACME {
             continue;
         }
-        if let Some(via) = fibs[r].lookup(transitco_block.addr()).map(|g| g.to_vec()) {
-            fibs[r].insert(cdnco_block, via);
+        if let Some(via) = fib.lookup(transitco_block.addr()).map(|g| g.to_vec()) {
+            fib.insert(cdnco_block, via);
         }
     }
     sys.world.net.add_epoch(t1, fibs);

@@ -1,0 +1,166 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! The container image has no registry access, so the real crate cannot be
+//! fetched. This shim keeps `cargo bench` working with a simple
+//! warmup-then-measure harness: each benchmark runs until ~`measure_ms` of
+//! wall time is spent and reports the mean iteration time. No statistics,
+//! plots, or baselines — just numbers on stdout.
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark amortizes setup cost. The shim runs one routine
+/// call per setup call regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; drives the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the allotted iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    /// Target measurement time per benchmark, ms.
+    measure_ms: u64,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure_ms: 500, sample_size: 0 }
+    }
+}
+
+fn run_one(name: &str, measure_ms: u64, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: run single iterations until we know the rough cost.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = if sample_size > 0 {
+        sample_size
+    } else {
+        (Duration::from_millis(measure_ms).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000)
+            as u64
+    };
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    let (value, unit) = if mean >= 1.0 {
+        (mean, "s")
+    } else if mean >= 1e-3 {
+        (mean * 1e3, "ms")
+    } else if mean >= 1e-6 {
+        (mean * 1e6, "us")
+    } else {
+        (mean * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter ({iters} iters)");
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.measure_ms, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: 0 }
+    }
+}
+
+/// A named group of benchmarks with its own sample-size override.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.parent.measure_ms, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion { measure_ms: 5, sample_size: 0 };
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("inner", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.finish();
+    }
+}
