@@ -109,10 +109,15 @@ fn run_world(
     let cfg = LongitudinalConfig::new(from, to);
     let links = run_longitudinal(&mut sys, &cfg);
     let c = score(&sys.world, &links, gt);
-    eprintln!(
-        "  intensity {intensity:.2} seed {seed}: {n_events} fault events, \
-         {} observed pairs, tp={} fp={} fn={}",
-        c.observed_pairs, c.tp, c.fp, c.fn_
+    manic_obs::event!(
+        manic_obs::INFO, "bench", "chaos_sweep_point", to,
+        intensity = intensity,
+        seed = seed,
+        fault_events = n_events,
+        observed_pairs = c.observed_pairs,
+        tp = c.tp,
+        fp = c.fp,
+        false_negatives = c.fn_,
     );
     c
 }

@@ -1,0 +1,74 @@
+//! Observability overhead check: the whole subsystem must cost <5% on the
+//! packet-mode hot path.
+//!
+//! Runs `System::run_packet_mode` over the same window with recording
+//! enabled (the default) and disabled (`manic_obs::set_enabled(false)`, the
+//! same kill switch operators get), interleaved to cancel out thermal and
+//! cache drift, and reports the relative cost of the enabled runs.
+
+use manic_core::{System, SystemConfig};
+use manic_netsim::time::{date_to_sim, Date};
+use manic_scenario::worlds::toy;
+use std::time::Instant;
+
+const HOURS: i64 = 5 * 24;
+const PAIRS: usize = 9;
+
+fn run_once(enabled: bool) -> f64 {
+    manic_obs::set_enabled(enabled);
+    manic_obs::reset_all();
+    let mut sys = System::new(toy(1), SystemConfig::default());
+    let from = date_to_sim(Date::new(2016, 6, 7));
+    let start = Instant::now();
+    sys.run_packet_mode(from, from + HOURS * 3600);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // Measure the recording cost, not terminal I/O: the Info-level stderr
+    // echo would time the console, so keep only warnings during the runs.
+    manic_obs::journal().set_stderr_level(Some(manic_obs::Level::Warn));
+    // Warm-up (page cache, lazy statics) discarded.
+    run_once(true);
+    run_once(false);
+
+    let mut on = Vec::with_capacity(PAIRS);
+    let mut off = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        on.push(run_once(true));
+        off.push(run_once(false));
+    }
+    manic_obs::set_enabled(true);
+    manic_obs::journal().set_stderr_level(Some(manic_obs::Level::Info));
+
+    // The verdict comes from the median of per-pair ratios: each on/off
+    // pair runs back-to-back, so slow load drift on a shared machine cancels
+    // within a pair instead of biasing one whole arm of the comparison.
+    let mut ratios: Vec<f64> =
+        on.iter().zip(off.iter()).map(|(a, b)| a / b).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let overhead_pct = 100.0 * (ratios[ratios.len() / 2] - 1.0);
+    let best_on = on.iter().cloned().fold(f64::INFINITY, f64::min);
+    let best_off = off.iter().cloned().fold(f64::INFINITY, f64::min);
+    let verdict = if overhead_pct < 5.0 { "PASS" } else { "FAIL" };
+
+    let mut out = String::from(
+        "Observability overhead — run_packet_mode, toy world, 5-day window\n\n",
+    );
+    out.push_str(&format!(
+        "  recording enabled:  {:.4} s (best of {PAIRS})\n",
+        best_on
+    ));
+    out.push_str(&format!(
+        "  recording disabled: {:.4} s (best of {PAIRS})\n",
+        best_off
+    ));
+    out.push_str(&format!(
+        "  overhead:           {overhead_pct:+.2}%  (median pair ratio, budget <5%)  [{verdict}]\n"
+    ));
+    print!("{out}");
+    manic_bench::save_result("obs_overhead", &out);
+    if verdict == "FAIL" {
+        std::process::exit(1);
+    }
+}

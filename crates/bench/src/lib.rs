@@ -95,7 +95,13 @@ pub fn as_name(world: &World, asn: manic_netsim::AsNumber) -> String {
     world.graph.info(asn).name.clone()
 }
 
-/// Write an experiment's text output under `results/` (and echo the path).
+/// Write an experiment's text output under `results/`, plus a metrics
+/// sidecar (`<name>.metrics.json`) snapshotting every counter, gauge, and
+/// histogram the run touched — the experiment's observability record.
+///
+/// The save is announced through the journal (echoed to stderr at the
+/// default Info level), not a bare eprintln, so `--quiet` harnesses and the
+/// CI artifact both see it consistently.
 pub fn save_result(name: &str, contents: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&dir).expect("create results dir");
@@ -106,7 +112,15 @@ pub fn save_result(name: &str, contents: &str) -> PathBuf {
     };
     let mut f = std::fs::File::create(&path).expect("create result file");
     f.write_all(contents.as_bytes()).expect("write result");
-    eprintln!("[saved {}]", path.display());
+    let stem = name.split('.').next().unwrap_or(name);
+    let sidecar = dir.join(format!("{stem}.metrics.json"));
+    std::fs::write(&sidecar, manic_obs::registry().render_json())
+        .expect("write metrics sidecar");
+    manic_obs::event!(
+        manic_obs::INFO, "bench", "result_saved", 0,
+        path = path.display().to_string(),
+        metrics = sidecar.display().to_string(),
+    );
     path
 }
 

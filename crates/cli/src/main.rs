@@ -7,7 +7,15 @@
 //! manic study --days D [--world ..] [--seed N]         # longitudinal day-link report
 //! manic export --vp <name> --hours H [--format json|csv]  # raw TSLP series dump
 //! manic inspect [--days D] [--world ..]                # evidence dossiers (sec. 4.2)
+//! manic obs metrics [--hours H] [--format prom|json]   # run pipeline, dump metrics
+//! manic obs journal [--filter S] [--hours H]           # structured event journal
+//! manic obs explain <far-ip> [--hours H]               # audit trail for one link
+//! manic obs links [--hours H]                          # links with audit records
 //! ```
+//!
+//! Global flags: `--verbosity trace|debug|info|warn|error` controls both the
+//! journal floor and the stderr echo; `--quiet` silences the stderr echo
+//! entirely. Without either, the CLI echoes warnings and errors only.
 //!
 //! Argument parsing is hand-rolled (the workspace carries no CLI
 //! dependency); every command is deterministic given `--seed`.
@@ -35,6 +43,11 @@ enum CliError {
     UnknownVp(String),
     UnknownFormat(String),
     EmptyCycle(String),
+    MissingSubcommand(&'static str),
+    UnknownSubcommand { cmd: &'static str, sub: String },
+    UnexpectedArg(String),
+    UnknownLevel(String),
+    NoAuditRecords { link: String, known: Vec<String> },
 }
 
 impl fmt::Display for CliError {
@@ -51,6 +64,23 @@ impl fmt::Display for CliError {
             CliError::UnknownFormat(fmt) => write!(f, "unknown format '{fmt}' (json|csv)"),
             CliError::EmptyCycle(vp) => {
                 write!(f, "bdrmap cycle for '{vp}' produced no links")
+            }
+            CliError::MissingSubcommand(cmd) => {
+                write!(f, "'{cmd}' needs a subcommand (try `manic {cmd} metrics`)")
+            }
+            CliError::UnknownSubcommand { cmd, sub } => {
+                write!(f, "unknown '{cmd}' subcommand '{sub}'")
+            }
+            CliError::UnexpectedArg(a) => write!(f, "unexpected argument '{a}'"),
+            CliError::UnknownLevel(l) => {
+                write!(f, "unknown level '{l}' (trace|debug|info|warn|error)")
+            }
+            CliError::NoAuditRecords { link, known } => {
+                write!(f, "no audit records for link '{link}'")?;
+                if !known.is_empty() {
+                    write!(f, "; links with records: {}", known.join(", "))?;
+                }
+                Ok(())
             }
         }
     }
@@ -70,6 +100,14 @@ struct Args {
     days: i64,
     hours: i64,
     format: String,
+    /// Positional arguments after the command (subcommand, link IP, ...).
+    positional: Vec<String>,
+    /// `--verbosity <level>`: journal floor + stderr echo level.
+    verbosity: Option<manic_obs::Level>,
+    /// `--quiet`: no stderr echo at all.
+    quiet: bool,
+    /// `--filter <substring>`: journal dump filter (event name or target).
+    filter: Option<String>,
 }
 
 impl Args {
@@ -82,6 +120,10 @@ impl Args {
             days: 60,
             hours: 24,
             format: "csv".into(),
+            positional: Vec::new(),
+            verbosity: None,
+            quiet: false,
+            filter: None,
         };
         while let Some(flag) = argv.next() {
             let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
@@ -99,7 +141,18 @@ impl Args {
                 "--days" => args.days = num("--days", val()?)?,
                 "--hours" => args.hours = num("--hours", val()?)?,
                 "--format" => args.format = val()?,
-                other => return Err(CliError::UnknownFlag(other.to_string())),
+                "--filter" => args.filter = Some(val()?),
+                "--quiet" => args.quiet = true,
+                "--verbosity" => {
+                    let v = val()?;
+                    args.verbosity = Some(
+                        manic_obs::Level::parse(&v).ok_or(CliError::UnknownLevel(v))?,
+                    );
+                }
+                other if other.starts_with('-') => {
+                    return Err(CliError::UnknownFlag(other.to_string()))
+                }
+                positional => args.positional.push(positional.to_string()),
             }
         }
         // Window lengths must be positive: downstream day-aligned asserts
@@ -128,31 +181,61 @@ impl Args {
     }
 }
 
+/// Wire the journal's stderr echo to the requested verbosity. The library
+/// default echoes Info and above; an interactive CLI wants warnings only
+/// unless asked.
+fn apply_verbosity(args: &Args) {
+    let j = manic_obs::journal();
+    if args.quiet {
+        j.set_stderr_level(None);
+    } else if let Some(level) = args.verbosity {
+        j.set_min_level(level);
+        j.set_stderr_level(Some(level));
+    } else {
+        j.set_stderr_level(Some(manic_obs::Level::Warn));
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args();
     let _bin = argv.next();
     match Args::parse(argv) {
-        Ok((cmd, args)) => match run(&cmd, args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        Ok((cmd, args)) => {
+            apply_verbosity(&args);
+            match run(&cmd, args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}"); // ALLOW_PRINT: CLI user output
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Err(e) => {
+            // ALLOW_PRINT: CLI usage text.
             eprintln!("error: {e}\n");
-            eprintln!("usage: manic <world|links|watch|study|export> [flags]");
+            eprintln!("usage: manic <world|links|watch|study|export|inspect|obs> [flags]");
             eprintln!("  manic world  [--world toy|us] [--seed N]");
             eprintln!("  manic links  --vp <name> [--world ..] [--seed N]");
             eprintln!("  manic watch  --vp <name> [--hours H] [--world ..]");
             eprintln!("  manic study  [--days D] [--world ..] [--seed N]");
             eprintln!("  manic export --vp <name> [--hours H] [--format json|csv]");
+            eprintln!("  manic obs    <metrics|journal|explain <far-ip>|links> [--hours H]");
+            eprintln!("global flags: --verbosity trace|debug|info|warn|error, --quiet");
             ExitCode::FAILURE
         }
     }
 }
 
 fn run(cmd: &str, args: Args) -> Result<(), CliError> {
+    if !matches!(cmd, "world" | "links" | "watch" | "study" | "export" | "inspect" | "obs") {
+        return Err(CliError::UnknownCommand(cmd.to_string()));
+    }
+    // Only `obs` takes positional arguments.
+    if cmd != "obs" {
+        if let Some(extra) = args.positional.first() {
+            return Err(CliError::UnexpectedArg(extra.clone()));
+        }
+    }
     match cmd {
         "world" => cmd_world(args),
         "links" => cmd_links(args),
@@ -160,7 +243,7 @@ fn run(cmd: &str, args: Args) -> Result<(), CliError> {
         "study" => cmd_study(args),
         "export" => cmd_export(args),
         "inspect" => cmd_inspect(args),
-        other => Err(CliError::UnknownCommand(other.to_string())),
+        _ => cmd_obs(args),
     }
 }
 
@@ -336,6 +419,99 @@ fn cmd_inspect(args: Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Drive a full packet-mode pipeline so the metrics registry, journal, and
+/// audit trail have real content, then hand the system back for inspection.
+///
+/// Every `manic obs` subcommand shares this run: the CLI is one process, so
+/// "after a pipeline run" means running one here.
+fn obs_pipeline(args: &Args) -> Result<System, CliError> {
+    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let from = t0();
+    let to = from + args.hours * 3600;
+    sys.run_packet_mode(from, to);
+    for vi in 0..sys.vps.len() {
+        // Level-shift verdicts (reactive loss arming) + live elevation
+        // verdicts (dashboard) populate the audit trail.
+        sys.arm_reactive_loss(vi, from, to);
+        sys.snapshot(vi, to, args.hours * 3600);
+    }
+    Ok(sys)
+}
+
+/// `manic obs <metrics|journal|explain|links>` — the observability window
+/// into a pipeline run.
+fn cmd_obs(args: Args) -> Result<(), CliError> {
+    let sub = args
+        .positional
+        .first()
+        .ok_or(CliError::MissingSubcommand("obs"))?
+        .clone();
+    match sub.as_str() {
+        "metrics" => {
+            if args.positional.len() > 1 {
+                return Err(CliError::UnexpectedArg(args.positional[1].clone()));
+            }
+            obs_pipeline(&args)?;
+            let r = manic_obs::registry();
+            match args.format.as_str() {
+                "json" => println!("{}", r.render_json()),
+                _ => print!("{}", r.render_prometheus()),
+            }
+        }
+        "journal" => {
+            if args.positional.len() > 1 {
+                return Err(CliError::UnexpectedArg(args.positional[1].clone()));
+            }
+            obs_pipeline(&args)?;
+            let floor = args.verbosity.unwrap_or(manic_obs::Level::Trace);
+            for ev in manic_obs::journal().snapshot() {
+                if ev.level < floor {
+                    continue;
+                }
+                if let Some(pat) = &args.filter {
+                    if !ev.name.contains(pat.as_str()) && !ev.target.contains(pat.as_str()) {
+                        continue;
+                    }
+                }
+                println!("{}", ev.to_json());
+            }
+            let dropped = manic_obs::journal().dropped();
+            if dropped > 0 {
+                eprintln!("({dropped} events evicted from the ring)"); // ALLOW_PRINT: CLI user output
+            }
+        }
+        "explain" => {
+            let link = args
+                .positional
+                .get(1)
+                .ok_or(CliError::MissingValue("explain <far-ip>".into()))?
+                .clone();
+            obs_pipeline(&args)?;
+            let audit = manic_obs::audit();
+            let records = audit.explain(&link);
+            if records.is_empty() {
+                return Err(CliError::NoAuditRecords { link, known: audit.links() });
+            }
+            for rec in records {
+                print!("{}", rec.render_text());
+            }
+        }
+        "links" => {
+            if args.positional.len() > 1 {
+                return Err(CliError::UnexpectedArg(args.positional[1].clone()));
+            }
+            obs_pipeline(&args)?;
+            for link in manic_obs::audit().links() {
+                println!("{link}");
+            }
+        }
+        other => {
+            return Err(CliError::UnknownSubcommand { cmd: "obs", sub: other.to_string() })
+        }
+    }
+    Ok(())
+}
+
 fn cmd_export(args: Args) -> Result<(), CliError> {
     let mut sys = System::new(args.build_world()?, SystemConfig::default());
     let vi = vp_index(&sys, &args)?;
@@ -405,5 +581,32 @@ mod tests {
     fn unknown_world_rejected_at_build() {
         let (_, a) = parse(&["world", "--world", "mars"]).unwrap();
         assert!(a.build_world().is_err());
+    }
+
+    #[test]
+    fn positionals_and_verbosity() {
+        let (cmd, a) =
+            parse(&["obs", "explain", "10.3.0.2", "--hours", "6", "--verbosity", "debug"])
+                .unwrap();
+        assert_eq!(cmd, "obs");
+        assert_eq!(a.positional, vec!["explain".to_string(), "10.3.0.2".to_string()]);
+        assert_eq!(a.hours, 6);
+        assert_eq!(a.verbosity, Some(manic_obs::Level::Debug));
+        assert!(!a.quiet);
+
+        let (_, q) = parse(&["study", "--quiet"]).unwrap();
+        assert!(q.quiet);
+
+        use super::CliError;
+        assert!(matches!(
+            parse(&["obs", "--verbosity", "loud"]),
+            Err(CliError::UnknownLevel(_))
+        ));
+        // Non-obs commands reject stray positionals (checked in run()).
+        let (cmd, a) = parse(&["study", "extra"]).unwrap();
+        assert!(matches!(
+            super::run(&cmd, a),
+            Err(CliError::UnexpectedArg(_))
+        ));
     }
 }

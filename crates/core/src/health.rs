@@ -42,6 +42,18 @@ pub enum HealthState {
     Retired,
 }
 
+impl HealthState {
+    /// Stable snake_case label (metric labels, journal fields).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Retired => "retired",
+        }
+    }
+}
+
 /// Thresholds and backoff shape of the health machine.
 #[derive(Debug, Clone)]
 pub struct HealthConfig {

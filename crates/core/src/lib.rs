@@ -19,6 +19,7 @@
 
 pub mod health;
 pub mod longitudinal;
+pub(crate) mod obs;
 pub mod system;
 
 pub use health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};

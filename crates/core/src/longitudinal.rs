@@ -107,7 +107,13 @@ impl LinkDays {
 }
 
 /// Per-(vp, task) analysis: slide 50-day windows and union day masks.
+///
+/// Every window produces an audit-trail verdict (detector "autocorr"):
+/// asserted windows carry the congested-interval count, rejected windows the
+/// rejection reason — so a §6 day-link number can be traced back to the
+/// exact windows that asserted it.
 fn analyze_task_series(
+    vp_name: &str,
     series: &manic_probing::tslp::TaskSeries,
     cfg: &LongitudinalConfig,
 ) -> (BTreeMap<i64, u128>, BTreeSet<i64>) {
@@ -139,6 +145,36 @@ fn analyze_task_series(
         let lo = w0 * INTERVALS_PER_DAY;
         let hi = (w0 + wdays) * INTERVALS_PER_DAY;
         let res = analyze_window(&series.near[lo..hi], &series.far[lo..hi], &cfg.autocorr);
+        let window_t = cfg.from + w0 as i64 * SECS_PER_DAY;
+        let congested_intervals: u32 =
+            res.day_masks.iter().map(|m| m.count_ones()).sum();
+        let evidence = match res.rejected {
+            Some(reason) => manic_obs::Evidence::new(
+                "autocorr_rejected",
+                vec![
+                    ("reason", manic_obs::Value::from(reason.as_str())),
+                    ("window_start_t", manic_obs::Value::from(window_t)),
+                    ("window_days", manic_obs::Value::from(wdays)),
+                ],
+            ),
+            None => manic_obs::Evidence::new(
+                "autocorr_window",
+                vec![
+                    ("window_start_t", manic_obs::Value::from(window_t)),
+                    ("window_days", manic_obs::Value::from(wdays)),
+                    ("congested_intervals", manic_obs::Value::from(congested_intervals as u64)),
+                ],
+            ),
+        };
+        manic_obs::audit().record(manic_obs::AuditRecord {
+            t: window_t,
+            vp: vp_name.to_string(),
+            near: series.near_ip.to_string(),
+            link: series.far_ip.to_string(),
+            detector: "autocorr",
+            congested: res.rejected.is_none() && congested_intervals > 0,
+            evidence: vec![evidence],
+        });
         if res.rejected.is_some() {
             continue;
         }
@@ -203,7 +239,8 @@ pub fn run_longitudinal_detailed(system: &mut System, cfg: &LongitudinalConfig) 
                         else {
                             continue;
                         };
-                        let (masks, observed) = analyze_task_series(s, cfg);
+                        let (masks, observed) =
+                            analyze_task_series(&vp.handle.name, s, cfg);
                         links.push((
                             s.near_ip,
                             s.far_ip,

@@ -1,0 +1,75 @@
+//! Metric handles for the orchestration layer.
+//!
+//! Border-mapping counters carry the `manic_bdrmap_` prefix even though the
+//! cycle driver lives here — the naming convention follows the subsystem
+//! being measured, and `core::run_bdrmap_cycle` is where discovery/loss of
+//! links is actually observable (the `manic-bdrmap` crate sees one cycle at
+//! a time and cannot diff consecutive probing sets).
+
+use crate::health::HealthState;
+use manic_obs::{registry, Counter};
+use std::sync::OnceLock;
+
+pub(crate) struct Metrics {
+    /// bdrmap cycles executed / cycles that produced an empty probing set.
+    pub bdrmap_cycles: Counter,
+    pub bdrmap_cycles_empty: Counter,
+    /// Interdomain links that (dis)appeared between consecutive cycles of
+    /// the same VP.
+    pub bdrmap_links_discovered: Counter,
+    pub bdrmap_links_lost: Counter,
+    /// Ally alias tests still indeterminate after all retries (silently
+    /// degraded router grouping — previously invisible).
+    pub ally_indeterminate: Counter,
+    /// TSLP rounds driven by `run_packet_mode`.
+    pub rounds: Counter,
+    /// Rounds in which a due bdrmap cycle was held back by `CycleBackoff`.
+    pub backoff_waits: Counter,
+    /// VPs withdrawn by host churn.
+    pub vp_retired: Counter,
+    /// Health-machine transitions, by destination state.
+    pub health_to_healthy: Counter,
+    pub health_to_degraded: Counter,
+    pub health_to_quarantined: Counter,
+    pub health_to_retired: Counter,
+    /// Congested / clean verdicts recorded to the audit trail.
+    pub verdicts_congested: Counter,
+    pub verdicts_clean: Counter,
+}
+
+impl Metrics {
+    pub fn health_transition(&self, to: HealthState) -> &Counter {
+        match to {
+            HealthState::Healthy => &self.health_to_healthy,
+            HealthState::Degraded => &self.health_to_degraded,
+            HealthState::Quarantined => &self.health_to_quarantined,
+            HealthState::Retired => &self.health_to_retired,
+        }
+    }
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(|| {
+        let r = registry();
+        let health =
+            |to| r.counter_labeled("manic_core_health_transitions", &[("to", to)]);
+        Metrics {
+            bdrmap_cycles: r.counter("manic_bdrmap_cycles"),
+            bdrmap_cycles_empty: r.counter("manic_bdrmap_cycles_empty"),
+            bdrmap_links_discovered: r.counter("manic_bdrmap_links_discovered"),
+            bdrmap_links_lost: r.counter("manic_bdrmap_links_lost"),
+            ally_indeterminate: r.counter("manic_core_ally_indeterminate"),
+            rounds: r.counter("manic_core_rounds"),
+            backoff_waits: r.counter("manic_core_backoff_waits"),
+            vp_retired: r.counter("manic_core_vp_retired"),
+            health_to_healthy: health("healthy"),
+            health_to_degraded: health("degraded"),
+            health_to_quarantined: health("quarantined"),
+            health_to_retired: health("retired"),
+            verdicts_congested: r.counter("manic_core_verdicts_congested"),
+            verdicts_clean: r.counter("manic_core_verdicts_clean"),
+        }
+    })
+}

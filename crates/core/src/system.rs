@@ -1,6 +1,6 @@
 //! System orchestration: VPs, probing state, measurement scheduling.
 
-use crate::health::{CycleBackoff, HealthConfig, TaskHealth};
+use crate::health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};
 use manic_bdrmap::{infer, BdrmapResult};
 use manic_inference::{detect_level_shifts_masked, LevelShiftConfig, DEFAULT_REJECT};
 use manic_netsim::time::{SimTime, SECS_PER_DAY};
@@ -173,6 +173,8 @@ impl System {
                     return Some(v);
                 }
             }
+            // All retries exhausted: the pair stays ungrouped this cycle.
+            crate::obs::metrics().ally_indeterminate.inc();
             None
         };
         let result = infer(&traces, &world.artifacts, vp.asn, &mut oracle);
@@ -194,6 +196,14 @@ impl System {
                 _ => false,
             }
         });
+        // Diff against the previous probing set: links entering and leaving
+        // the VP's view are the paper's "probing-state stability" signal.
+        let old_keys: std::collections::HashSet<(Ipv4, Ipv4)> =
+            vp.tslp.tasks.iter().map(|k| (k.near_ip, k.far_ip)).collect();
+        let new_keys: std::collections::HashSet<(Ipv4, Ipv4)> =
+            tasks.iter().map(|k| (k.near_ip, k.far_ip)).collect();
+        let discovered = new_keys.difference(&old_keys).count();
+        let lost = old_keys.difference(&new_keys).count();
         vp.tslp.update_targets(tasks);
         vp.bdrmap = Some(result);
         vp.last_cycle = Some(t);
@@ -201,6 +211,18 @@ impl System {
         // A fresh probing set clears all health state: retired tasks that
         // survived re-selection get probed again from scratch.
         vp.health.clear();
+        let m = crate::obs::metrics();
+        m.bdrmap_cycles.inc();
+        m.bdrmap_links_discovered.add(discovered as u64);
+        m.bdrmap_links_lost.add(lost as u64);
+        manic_obs::event!(
+            manic_obs::INFO, "core", "bdrmap_cycle", t,
+            vp = vp.handle.name.as_str(),
+            traces = traces.len(),
+            links = vp.tslp.tasks.len(),
+            discovered = discovered,
+            lost = lost,
+        );
         vp.tslp.tasks.len()
     }
 
@@ -259,7 +281,13 @@ impl System {
                 let due = match self.vps[vi].last_cycle {
                     // Immediately-due (startup or reactive refresh), unless a
                     // string of failed cycles has us backing off.
-                    None => self.vps[vi].cycle_backoff.may_attempt(t),
+                    None => {
+                        let ok = self.vps[vi].cycle_backoff.may_attempt(t);
+                        if !ok {
+                            crate::obs::metrics().backoff_waits.inc();
+                        }
+                        ok
+                    }
                     Some(last) => t - last >= cycle_secs,
                 };
                 if due {
@@ -270,6 +298,11 @@ impl System {
                         // reboot): bounded retry instead of a dead 2 days.
                         vp.last_cycle = None;
                         vp.cycle_backoff.note_failure(t);
+                        crate::obs::metrics().bdrmap_cycles_empty.inc();
+                        manic_obs::event!(
+                            manic_obs::WARN, "core", "bdrmap_cycle_empty", t,
+                            vp = vp.handle.name.as_str(),
+                        );
                     } else {
                         vp.cycle_backoff.note_success();
                     }
@@ -280,6 +313,11 @@ impl System {
                 // withdrawn; history remains, probing stops.
                 if self.world.net.fault.vp_retired(vp.handle.router, t) {
                     vp.active = false;
+                    crate::obs::metrics().vp_retired.inc();
+                    manic_obs::event!(
+                        manic_obs::WARN, "core", "vp_retired", t,
+                        vp = vp.handle.name.as_str(),
+                    );
                     continue;
                 }
                 Self::round_with_health(
@@ -290,6 +328,7 @@ impl System {
                     t,
                 );
             }
+            crate::obs::metrics().rounds.inc();
             rounds += 1;
             t += ROUND_SECS;
         }
@@ -353,10 +392,26 @@ impl System {
             // Jitter stream per task so quarantined tasks re-probe
             // desynchronized rather than in lockstep bursts.
             let stream = task.far_ip.0 as u64 ^ ((task.near_ip.0 as u64) << 32);
-            vp.health
-                .entry(key)
-                .or_default()
-                .observe(ok, t, &cfg.health, net.seed, stream);
+            let before =
+                vp.health.get(&key).map(|h| h.state).unwrap_or(HealthState::Healthy);
+            let h = vp.health.entry(key).or_default();
+            h.observe(ok, t, &cfg.health, net.seed, stream);
+            let after = h.state;
+            if after != before {
+                crate::obs::metrics().health_transition(after).inc();
+                let lvl = match after {
+                    HealthState::Quarantined | HealthState::Retired => manic_obs::WARN,
+                    _ => manic_obs::INFO,
+                };
+                manic_obs::event!(
+                    lvl, "core", "health_transition", t,
+                    vp = vp.handle.name.as_str(),
+                    near = task.near_ip.to_string(),
+                    far = task.far_ip.to_string(),
+                    from = before.as_str(),
+                    to = after.as_str(),
+                );
+            }
             if mismatched.contains(&(ti, End::Far)) {
                 // Response from the wrong address: renumbering or a moved
                 // route. Samples were already discarded; flag the window so
@@ -415,6 +470,48 @@ impl System {
             let qual = self.store.quality_dense(&key, from, to, ROUND_SECS);
             let shifts =
                 detect_level_shifts_masked(&bins, &qual, DEFAULT_REJECT, &self.cfg.levelshift);
+            // Audit every verdict — congested or not — with the evidence it
+            // rests on, so `manic obs explain <far-ip>` can reconstruct it.
+            let masked_bins = qual.iter().filter(|&&q| q & DEFAULT_REJECT != 0).count();
+            let flags_in_force =
+                qual.iter().fold(0, |acc, &q| acc | (q & DEFAULT_REJECT));
+            let m = crate::obs::metrics();
+            let mut evidence = vec![
+                manic_obs::Evidence::new(
+                    "masked_bins",
+                    vec![
+                        ("masked", manic_obs::Value::from(masked_bins)),
+                        ("total", manic_obs::Value::from(bins.len())),
+                    ],
+                ),
+                manic_obs::Evidence::new(
+                    "quality_flags",
+                    vec![("flags", manic_obs::Value::from(flags_in_force as u64))],
+                ),
+            ];
+            for ep in &shifts {
+                evidence.push(manic_obs::Evidence::new(
+                    "level_shift",
+                    vec![
+                        ("start_t", manic_obs::Value::from(from + ep.start as i64 * ROUND_SECS)),
+                        ("end_t", manic_obs::Value::from(from + ep.end as i64 * ROUND_SECS)),
+                        ("duration_bins", manic_obs::Value::from(ep.end - ep.start)),
+                        ("baseline_ms", manic_obs::Value::from(ep.baseline)),
+                        ("level_ms", manic_obs::Value::from(ep.level)),
+                    ],
+                ));
+            }
+            let congested = !shifts.is_empty();
+            if congested { m.verdicts_congested.inc() } else { m.verdicts_clean.inc() }
+            manic_obs::audit().record(manic_obs::AuditRecord {
+                t: to,
+                vp: vp.handle.name.clone(),
+                near: task.near_ip.to_string(),
+                link: task.far_ip.to_string(),
+                detector: "levelshift",
+                congested,
+                evidence,
+            });
             if shifts.is_empty() {
                 continue;
             }
@@ -459,6 +556,25 @@ impl System {
                 (Some(l), Some(b)) => l > b + 7.0,
                 _ => false,
             };
+            // Every dashboard verdict is auditable: record the live §4.2
+            // elevation evidence (latest vs. lookback baseline + 7 ms).
+            manic_obs::audit().record(manic_obs::AuditRecord {
+                t: now,
+                vp: vp.handle.name.clone(),
+                near: task.near_ip.to_string(),
+                link: task.far_ip.to_string(),
+                detector: "elevation",
+                congested: elevated,
+                evidence: vec![manic_obs::Evidence::new(
+                    "elevation",
+                    vec![
+                        ("far_latest_ms", manic_obs::Value::from(far_latest.unwrap_or(f64::NAN))),
+                        ("far_baseline_ms", manic_obs::Value::from(far_baseline.unwrap_or(f64::NAN))),
+                        ("threshold_ms", manic_obs::Value::from(7.0)),
+                        ("lookback_s", manic_obs::Value::from(lookback)),
+                    ],
+                )],
+            });
             let rel = vp
                 .bdrmap
                 .as_ref()

@@ -69,6 +69,18 @@ pub enum RejectReason {
     InsufficientData,
 }
 
+impl RejectReason {
+    /// Stable snake_case label (metric labels, journal fields, audit trail).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::TooFewDays => "too_few_days",
+            RejectReason::DispersedPeaks => "dispersed_peaks",
+            RejectReason::IncoherentDays => "incoherent_days",
+            RejectReason::InsufficientData => "insufficient_data",
+        }
+    }
+}
+
 /// Per-day congestion estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DayEstimate {
@@ -162,6 +174,21 @@ impl AutocorrResult {
 /// assert!((r.days[7].congestion_pct - 12.0 / 96.0).abs() < 0.03);
 /// ```
 pub fn analyze_window(
+    near: &[Option<f64>],
+    far: &[Option<f64>],
+    cfg: &AutocorrConfig,
+) -> AutocorrResult {
+    let result = analyze_window_inner(near, far, cfg);
+    let m = crate::obs::metrics();
+    m.autocorr_windows.inc();
+    match result.rejected {
+        Some(reason) => m.autocorr_rejected(reason).inc(),
+        None => m.autocorr_asserted.inc(),
+    }
+    result
+}
+
+fn analyze_window_inner(
     near: &[Option<f64>],
     far: &[Option<f64>],
     cfg: &AutocorrConfig,

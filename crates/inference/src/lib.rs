@@ -18,6 +18,7 @@
 pub mod autocorr;
 pub mod levelshift;
 pub mod mask;
+pub(crate) mod obs;
 pub mod merge;
 pub mod returnpath;
 

@@ -30,11 +30,16 @@ pub fn apply_quality_mask(
     reject: QualityFlags,
 ) {
     assert_eq!(bins.len(), quality.len(), "bins and quality must align");
+    let mut masked = 0u64;
     for (b, &q) in bins.iter_mut().zip(quality) {
         if q & reject != 0 {
+            if b.is_some() {
+                masked += 1;
+            }
             *b = None;
         }
     }
+    crate::obs::metrics().bins_masked.add(masked);
 }
 
 /// Level-shift detection over quality-annotated bins: masks rejected bins,
@@ -47,10 +52,14 @@ pub fn detect_level_shifts_masked(
     reject: QualityFlags,
     cfg: &LevelShiftConfig,
 ) -> Vec<Episode> {
+    let m = crate::obs::metrics();
+    m.levelshift_runs.inc();
     let mut masked: Vec<Option<f64>> = bins.to_vec();
     apply_quality_mask(&mut masked, quality, reject);
     let episodes = detect_level_shifts(&masked, cfg);
-    episodes
+    let found = episodes.len();
+    m.shifts_detected.add(found as u64);
+    let kept: Vec<Episode> = episodes
         .into_iter()
         .filter(|e| {
             let touches = |idx: usize| {
@@ -60,7 +69,9 @@ pub fn detect_level_shifts_masked(
             };
             !(touches(e.start) || touches(e.end.saturating_sub(1)))
         })
-        .collect()
+        .collect();
+    m.shifts_rejected_mask_edge.add((found - kept.len()) as u64);
+    kept
 }
 
 #[cfg(test)]

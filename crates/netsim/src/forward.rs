@@ -228,15 +228,23 @@ impl Network {
 
     /// Cross one link: returns `Some(one-way delay in ms)` or `None` if the
     /// packet is dropped.
+    ///
+    /// Successful crossings are tallied into `crossed` (a per-probe local)
+    /// rather than a counter here: a probe crosses ~10-20 links, and one
+    /// `packets_forwarded.add(crossed)` per probe keeps the instrumented hot
+    /// path inside the <5% overhead budget. The fault-blocked counter stays
+    /// inline — it only fires when a fault is actually eating packets.
     fn cross(
         &self,
         link: LinkId,
         dir: Direction,
         t: SimTime,
         state: &mut SimState,
+        crossed: &mut u64,
     ) -> Option<f64> {
         let l = self.topo.link(link);
         if self.fault.link_blocked(&self.topo, link, t) {
+            crate::obs::metrics().fault_link_blocked.inc();
             return None;
         }
         let ls = self.link_state(link, dir, t);
@@ -244,11 +252,13 @@ impl Network {
         if p > 0.0 && noise::bernoulli(self.seed ^ 0x10_55, link.0 as u64, state.next(), p) {
             return None;
         }
+        *crossed += 1;
         Some(l.prop_delay_ms + ls.queue_ms)
     }
 
     /// Route a reply from `from` back to `to_addr`, returning the one-way
     /// delay, or `None` when the reply is lost or unroutable.
+    #[allow(clippy::too_many_arguments)]
     fn reply_path_delay(
         &self,
         from: RouterId,
@@ -257,6 +267,7 @@ impl Network {
         flow_id: u16,
         t: SimTime,
         state: &mut SimState,
+        crossed: &mut u64,
     ) -> Option<f64> {
         let mut cur = from;
         let mut total = 0.0;
@@ -265,7 +276,7 @@ impl Network {
                 return Some(total);
             }
             let (link, dir, next, _) = self.forward_hop(cur, to_addr, from_addr, flow_id, t)?;
-            total += self.cross(link, dir, t, state)?;
+            total += self.cross(link, dir, t, state, crossed)?;
             cur = next;
         }
         None
@@ -279,19 +290,23 @@ impl Network {
         t: SimTime,
         state: &mut SimState,
     ) -> Option<f64> {
+        let m = crate::obs::metrics();
         if self.fault.icmp_suppressed(router, t) {
+            m.icmp_suppressed_fault.inc();
             return None;
         }
         let prof = &self.topo.router(router).icmp;
         if prof.unresponsive_prob > 0.0
             && noise::bernoulli(self.seed ^ 0x1C_3F, router.0 as u64, state.next(), prof.unresponsive_prob)
         {
+            m.icmp_unresponsive.inc();
             return None;
         }
         if let Some(flaky) = prof.flaky {
             if flaky.is_flaky_now(self.seed, router.0 as u64, t)
                 && noise::bernoulli(self.seed ^ 0xF1A7, router.0 as u64, state.next(), flaky.drop_prob)
             {
+                m.icmp_flaky_drop.inc();
                 return None;
             }
         }
@@ -308,6 +323,7 @@ impl Network {
                 .entry(router)
                 .or_insert_with(|| RateLimiter::new(burst, t));
             if !rl.allow(pps, burst, t) {
+                m.icmp_rate_limited.inc();
                 return None;
             }
         }
@@ -315,9 +331,11 @@ impl Network {
         if prof.slow_path_prob > 0.0
             && noise::bernoulli(self.seed ^ 0x51_0E, router.0 as u64, state.next(), prof.slow_path_prob)
         {
+            m.icmp_slow_path.inc();
             delay += prof.slow_path_ms
                 * (0.5 + 0.5 * noise::uniform(self.seed ^ 0x51_0F, router.0 as u64, state.next()));
         }
+        m.icmp_generated.inc();
         Some(delay)
     }
 
@@ -371,11 +389,33 @@ impl Network {
     }
 
     /// Inject one probe at time `t` and resolve its fate.
+    ///
+    /// Every exit increments exactly one outcome metric, so
+    /// `manic_netsim_probes_sent` always equals the sum of the echo-reply,
+    /// time-exceeded, unroutable, and per-reason dropped counters — the
+    /// conservation invariant `tests/obs_conservation.rs` asserts.
     pub fn send_probe(&self, state: &mut SimState, spec: ProbeSpec, t: SimTime) -> ProbeStatus {
+        let m = crate::obs::metrics();
+        m.probes_sent.inc();
+        let mut crossed = 0u64;
+        let status = self.send_probe_inner(state, spec, t, m, &mut crossed);
+        m.packets_forwarded.add(crossed);
+        status
+    }
+
+    fn send_probe_inner(
+        &self,
+        state: &mut SimState,
+        spec: ProbeSpec,
+        t: SimTime,
+        m: &crate::obs::Metrics,
+        crossed: &mut u64,
+    ) -> ProbeStatus {
         let mut cur = spec.src;
         let mut fwd = 0.0;
         let mut ttl = spec.ttl;
         if ttl == 0 {
+            m.drop_zero_ttl.inc();
             return ProbeStatus::Lost;
         }
         // A VP with a skewed clock reports every RTT offset by the skew.
@@ -384,25 +424,32 @@ impl Network {
             if self.topo.terminates(cur, spec.dst) && cur != spec.src {
                 // Destination host answers the echo.
                 if self.fault.silent_addr(&self.topo, spec.dst, t) {
+                    m.drop_silent_addr.inc();
                     return ProbeStatus::Lost;
                 }
                 let Some(gen) = self.icmp_generate(cur, t, state) else {
+                    m.drop_icmp_denied.inc();
                     return ProbeStatus::Lost;
                 };
-                let Some(rev) =
-                    self.reply_path_delay(cur, spec.dst, spec.src_addr, spec.flow_id, t, state)
-                else {
+                let Some(rev) = self.reply_path_delay(
+                    cur, spec.dst, spec.src_addr, spec.flow_id, t, state, crossed,
+                ) else {
+                    m.drop_reply_lost.inc();
                     return ProbeStatus::Lost;
                 };
                 let from = self.fault.renumbered(&self.topo, spec.dst, t);
-                return ProbeStatus::EchoReply { from, rtt_ms: fwd + gen + rev + skew };
+                let rtt_ms = fwd + gen + rev + skew;
+                m.echo_reply.inc();
+                return ProbeStatus::EchoReply { from, rtt_ms };
             }
             let Some((link, dir, next, ingress)) =
                 self.forward_hop(cur, spec.dst, spec.src_addr, spec.flow_id, t)
             else {
+                m.unroutable.inc();
                 return ProbeStatus::Unroutable;
             };
-            let Some(delay) = self.cross(link, dir, t, state) else {
+            let Some(delay) = self.cross(link, dir, t, state, crossed) else {
+                m.drop_forward_loss.inc();
                 return ProbeStatus::Lost;
             };
             fwd += delay;
@@ -412,23 +459,29 @@ impl Network {
                 // Time exceeded at `cur`; response sourced from the ingress
                 // interface the packet arrived on.
                 if self.fault.silent_addr(&self.topo, ingress, t) {
+                    m.drop_silent_addr.inc();
                     return ProbeStatus::Lost;
                 }
                 let Some(gen) = self.icmp_generate(cur, t, state) else {
+                    m.drop_icmp_denied.inc();
                     return ProbeStatus::Lost;
                 };
-                let Some(rev) =
-                    self.reply_path_delay(cur, ingress, spec.src_addr, spec.flow_id, t, state)
-                else {
+                let Some(rev) = self.reply_path_delay(
+                    cur, ingress, spec.src_addr, spec.flow_id, t, state, crossed,
+                ) else {
+                    m.drop_reply_lost.inc();
                     return ProbeStatus::Lost;
                 };
                 // Renumbering rewrites the source address the reply carries;
                 // the reply still routes from the real interface.
                 let from = self.fault.renumbered(&self.topo, ingress, t);
-                return ProbeStatus::TimeExceeded { from, rtt_ms: fwd + gen + rev + skew };
+                let rtt_ms = fwd + gen + rev + skew;
+                m.time_exceeded.inc();
+                return ProbeStatus::TimeExceeded { from, rtt_ms };
             }
         }
         // Forwarding loop or path longer than MAX_HOPS.
+        m.drop_routing_loop.inc();
         ProbeStatus::Lost
     }
 }

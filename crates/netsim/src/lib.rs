@@ -31,6 +31,7 @@ pub mod forward;
 pub mod icmp;
 pub mod ip;
 pub mod noise;
+pub(crate) mod obs;
 pub mod queue;
 pub mod time;
 pub mod topo;

@@ -1,0 +1,68 @@
+//! Per-subsystem metric handles for the simulator's hot path.
+//!
+//! `send_probe` runs millions of times per experiment, so handles are
+//! created once (first probe) and cached in a `OnceLock`; every increment
+//! after that is a single relaxed atomic add. Names follow the
+//! `manic_netsim_<name>` convention; probe drop reasons are a labeled
+//! family so the conservation invariant
+//! `probes_sent == echo_reply + time_exceeded + unroutable + Σ dropped{reason}`
+//! can be checked by summing the `manic_netsim_probe_dropped` prefix.
+
+use manic_obs::{registry, Counter};
+use std::sync::OnceLock;
+
+pub(crate) struct Metrics {
+    /// Probes injected via `Network::send_probe`.
+    pub probes_sent: Counter,
+    /// Terminal outcomes.
+    pub echo_reply: Counter,
+    pub time_exceeded: Counter,
+    pub unroutable: Counter,
+    /// `ProbeStatus::Lost` broken down by drop site (see conservation note).
+    pub drop_zero_ttl: Counter,
+    pub drop_silent_addr: Counter,
+    pub drop_icmp_denied: Counter,
+    pub drop_forward_loss: Counter,
+    pub drop_reply_lost: Counter,
+    pub drop_routing_loop: Counter,
+    /// Link crossings that delivered the packet (forward and reply legs).
+    pub packets_forwarded: Counter,
+    /// Crossings refused because fault injection blacked out the link.
+    pub fault_link_blocked: Counter,
+    /// ICMP generation outcomes at routers.
+    pub icmp_generated: Counter,
+    pub icmp_suppressed_fault: Counter,
+    pub icmp_unresponsive: Counter,
+    pub icmp_flaky_drop: Counter,
+    pub icmp_rate_limited: Counter,
+    pub icmp_slow_path: Counter,
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(|| {
+        let r = registry();
+        let drop = |reason| r.counter_labeled("manic_netsim_probe_dropped", &[("reason", reason)]);
+        Metrics {
+            probes_sent: r.counter("manic_netsim_probes_sent"),
+            echo_reply: r.counter("manic_netsim_probe_echo_reply"),
+            time_exceeded: r.counter("manic_netsim_probe_time_exceeded"),
+            unroutable: r.counter("manic_netsim_probe_unroutable"),
+            drop_zero_ttl: drop("zero_ttl"),
+            drop_silent_addr: drop("silent_addr"),
+            drop_icmp_denied: drop("icmp_denied"),
+            drop_forward_loss: drop("forward_loss"),
+            drop_reply_lost: drop("reply_lost"),
+            drop_routing_loop: drop("routing_loop"),
+            packets_forwarded: r.counter("manic_netsim_packets_forwarded"),
+            fault_link_blocked: r.counter("manic_netsim_fault_link_blocked"),
+            icmp_generated: r.counter("manic_netsim_icmp_generated"),
+            icmp_suppressed_fault: r.counter("manic_netsim_icmp_suppressed_fault"),
+            icmp_unresponsive: r.counter("manic_netsim_icmp_unresponsive"),
+            icmp_flaky_drop: r.counter("manic_netsim_icmp_flaky_drop"),
+            icmp_rate_limited: r.counter("manic_netsim_icmp_rate_limited"),
+            icmp_slow_path: r.counter("manic_netsim_icmp_slow_path"),
+        }
+    })
+}

@@ -1,0 +1,137 @@
+//! `manic-obs`: zero-dependency observability for the MANIC reproduction.
+//!
+//! Three stores, each a process-wide singleton, all keyed to **sim time**
+//! (seconds since the 2016-01-01 UTC epoch, the same clock every other crate
+//! uses) rather than wall clock — a 22-month study replayed in 40 seconds
+//! must journal events at the times they *happened in the simulation*:
+//!
+//! * [`registry()`] — atomic counters, gauges, and log-bucketed histograms,
+//!   exported as Prometheus text or JSON. Names follow
+//!   `manic_<crate>_<name>`; per-VP/per-reason breakdowns are labels.
+//! * [`journal()`] — structured events (level, target, name, fields) in a
+//!   bounded ring buffer, with optional stderr and JSONL file sinks.
+//!   Emit via the [`event!`] macro.
+//! * [`audit()`] — the inference audit trail: every congested/uncongested
+//!   verdict with its evidence chain, queryable per link.
+//!
+//! Two kill switches: the `noop` cargo feature compiles every call site to
+//! nothing (via [`NOOP`], a `const` evaluated *in this crate* so caller-side
+//! macro expansions see the right value), and [`set_enabled`] flips a
+//! runtime atomic that the hot-path `inc()`/`record()` methods check first.
+
+pub mod audit;
+pub mod journal;
+pub mod metrics;
+
+pub use audit::{AuditRecord, AuditTrail, Evidence};
+pub use journal::{Event, Journal, Level, Value};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// True when the `noop` feature compiled instrumentation out. Referenced as
+/// `$crate::NOOP` inside exported macros: a `cfg!` there would resolve
+/// against the *calling* crate's features, a `const` resolves against ours.
+pub const NOOP: bool = cfg!(feature = "noop");
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Runtime master switch. Off: counters don't count, the journal and audit
+/// trail drop records on the floor. The overhead bench toggles this to
+/// compare instrumented vs disabled on identical binaries.
+#[inline]
+pub fn enabled() -> bool {
+    !NOOP && ENABLED.load(Ordering::Relaxed)
+}
+
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Convenience level constants so call sites can write
+/// `obs::event!(obs::WARN, ...)` without importing `Level`.
+pub const TRACE: Level = Level::Trace;
+pub const DEBUG: Level = Level::Debug;
+pub const INFO: Level = Level::Info;
+pub const WARN: Level = Level::Warn;
+pub const ERROR: Level = Level::Error;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static JOURNAL: OnceLock<Journal> = OnceLock::new();
+static AUDIT: OnceLock<AuditTrail> = OnceLock::new();
+
+/// The process-wide metrics registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The process-wide event journal.
+pub fn journal() -> &'static Journal {
+    JOURNAL.get_or_init(Journal::default)
+}
+
+/// The process-wide inference audit trail.
+pub fn audit() -> &'static AuditTrail {
+    AUDIT.get_or_init(AuditTrail::default)
+}
+
+/// Clear all three stores (counters to zero, ring buffers emptied). Tests
+/// that assert on global state call this first; production never does.
+pub fn reset_all() {
+    registry().reset();
+    journal().clear();
+    audit().clear();
+}
+
+/// Minimal JSON string-content escaper (backslash, quote, control chars).
+/// Shared by the exporters, the journal, and the audit trail.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn runtime_switch_gates_recording() {
+        // Uses detached handles so this test doesn't touch the global
+        // registry that other (parallel) tests may be exercising.
+        let c = Counter::detached();
+        set_enabled(false);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn singletons_are_stable() {
+        let r1 = registry() as *const Registry;
+        let r2 = registry() as *const Registry;
+        assert_eq!(r1, r2);
+        assert!(std::ptr::eq(journal(), journal()));
+        assert!(std::ptr::eq(audit(), audit()));
+    }
+}

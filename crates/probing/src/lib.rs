@@ -26,6 +26,7 @@
 pub mod alias;
 pub mod asymmetry;
 pub mod loss;
+pub(crate) mod obs;
 pub mod path;
 pub mod scheduler;
 pub mod traceroute;

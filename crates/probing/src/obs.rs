@@ -1,0 +1,67 @@
+//! Metric handles for the probing layer.
+//!
+//! TSLP stats are per vantage point (the paper reports per-VP probe budgets
+//! and response rates), so [`VpTslpMetrics`] is created once per
+//! [`crate::tslp::TslpProber`] and carries labeled handles; crate-global
+//! counters live in the `OnceLock`'d [`Metrics`].
+
+use manic_obs::{registry, Counter, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct Metrics {
+    /// Traceroutes executed (`traceroute::trace`).
+    pub traceroutes: Counter,
+    /// Links handed to `select_targets` that yielded no usable destination
+    /// and were silently dropped from the probing set.
+    pub links_without_dests: Counter,
+    /// Tasks synthesized through the fluid fast path.
+    pub synth_tasks: Counter,
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(|| {
+        let r = registry();
+        Metrics {
+            traceroutes: r.counter("manic_probing_traceroutes"),
+            links_without_dests: r.counter("manic_probing_links_without_dests"),
+            synth_tasks: r.counter("manic_probing_synth_tasks"),
+        }
+    })
+}
+
+/// Per-VP TSLP counters, held by the prober for its lifetime.
+pub(crate) struct VpTslpMetrics {
+    pub rounds: Counter,
+    pub probes_sent: Counter,
+    /// Expected interface answered within the timeout.
+    pub answered: Counter,
+    /// Reply arrived after `PROBE_TIMEOUT_MS` (counted as loss by TSLP).
+    pub timed_out: Counter,
+    /// Reply from an unexpected address (visibility loss evidence).
+    pub mismatched: Counter,
+    /// No reply at all.
+    pub lost: Counter,
+    /// Tasks the health mask excluded from a round.
+    pub tasks_skipped: Counter,
+    /// Valid sample RTTs (ms).
+    pub rtt_ms: Histogram,
+}
+
+impl VpTslpMetrics {
+    pub fn for_vp(vp: &str) -> Self {
+        let r = registry();
+        let l = [("vp", vp)];
+        VpTslpMetrics {
+            rounds: r.counter_labeled("manic_probing_tslp_rounds", &l),
+            probes_sent: r.counter_labeled("manic_probing_probes_sent", &l),
+            answered: r.counter_labeled("manic_probing_probes_answered", &l),
+            timed_out: r.counter_labeled("manic_probing_probes_timed_out", &l),
+            mismatched: r.counter_labeled("manic_probing_probes_mismatched", &l),
+            lost: r.counter_labeled("manic_probing_probes_lost", &l),
+            tasks_skipped: r.counter_labeled("manic_probing_tasks_skipped", &l),
+            rtt_ms: r.histogram_labeled("manic_probing_rtt_ms", &l),
+        }
+    }
+}

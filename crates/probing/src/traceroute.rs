@@ -60,6 +60,7 @@ pub fn trace(
     max_ttl: u8,
     attempts: u32,
 ) -> Traceroute {
+    crate::obs::metrics().traceroutes.inc();
     let mut hops = Vec::new();
     let mut reached = false;
     let mut gap = 0usize;

@@ -80,6 +80,7 @@ pub struct TslpProber {
     pub vp: VpHandle,
     pub tasks: Vec<TslpTask>,
     budget: RateBudget,
+    metrics: crate::obs::VpTslpMetrics,
 }
 
 /// Probing interval (§3.1: every five minutes).
@@ -93,7 +94,8 @@ pub const PROBE_TIMEOUT_MS: f64 = 3_000.0;
 
 impl TslpProber {
     pub fn new(vp: VpHandle, start: SimTime) -> Self {
-        TslpProber { vp, tasks: Vec::new(), budget: RateBudget::new(TSLP_PPS, start) }
+        let metrics = crate::obs::VpTslpMetrics::for_vp(&vp.name);
+        TslpProber { vp, tasks: Vec::new(), budget: RateBudget::new(TSLP_PPS, start), metrics }
     }
 
     /// Install/update the probing set from fresh link→destination candidates
@@ -155,9 +157,18 @@ impl TslpProber {
         store: &Store,
         mask: impl Fn(usize) -> bool,
     ) -> Vec<(usize, TslpSample)> {
+        let m = &self.metrics;
+        m.rounds.inc();
+        // Per-probe counts accumulate in locals and flush once per round:
+        // one atomic add per counter per round instead of one per probe
+        // keeps the instrumented hot path within the <5% overhead budget
+        // (see `bench/src/bin/obs_overhead.rs`).
+        let (mut sent, mut answered, mut timed_out, mut mism, mut lost, mut skipped) =
+            (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
         let mut out = Vec::new();
         for ti in 0..self.tasks.len() {
             if !mask(ti) {
+                skipped += 1;
                 continue;
             }
             let task = self.tasks[ti].clone();
@@ -178,20 +189,28 @@ impl TslpProber {
                         },
                         t,
                     );
+                    sent += 1;
                     let sample = match status {
                         ProbeStatus::TimeExceeded { from, rtt_ms }
                         | ProbeStatus::EchoReply { from, rtt_ms } => {
                             if rtt_ms > PROBE_TIMEOUT_MS {
                                 // Reply arrived after the per-probe timeout:
                                 // counted as loss, like a real prober would.
+                                timed_out += 1;
                                 TslpSample { t, end, rtt_ms: None, mismatched: false }
                             } else if from == expect {
+                                answered += 1;
+                                m.rtt_ms.observe(rtt_ms);
                                 TslpSample { t, end, rtt_ms: Some(rtt_ms), mismatched: false }
                             } else {
+                                mism += 1;
                                 TslpSample { t, end, rtt_ms: None, mismatched: true }
                             }
                         }
-                        _ => TslpSample { t, end, rtt_ms: None, mismatched: false },
+                        _ => {
+                            lost += 1;
+                            TslpSample { t, end, rtt_ms: None, mismatched: false }
+                        }
                     };
                     if let Some(rtt) = sample.rtt_ms {
                         store.write(&series_key(&self.vp.name, &task, end), t, rtt);
@@ -200,6 +219,12 @@ impl TslpProber {
                 }
             }
         }
+        m.probes_sent.add(sent);
+        m.answered.add(answered);
+        m.timed_out.add(timed_out);
+        m.mismatched.add(mism);
+        m.lost.add(lost);
+        m.tasks_skipped.add(skipped);
         out
     }
 
@@ -244,6 +269,7 @@ pub fn synthesize_task(
     bin_secs: i64,
 ) -> TaskSeries {
     assert!(bin_secs % ROUND_SECS == 0, "bin must be a multiple of the probing round");
+    crate::obs::metrics().synth_tasks.inc();
     let probes_per_bin = (bin_secs / ROUND_SECS) as i32;
     // Resolve the path per destination and end, deduplicating identical
     // paths (the three destinations of a task normally share the TTL-limited
@@ -354,7 +380,11 @@ pub fn select_targets(
         dests.extend(fallback);
         dests.dedup_by_key(|d| d.dst);
         dests.truncate(3);
-        if !dests.is_empty() {
+        if dests.is_empty() {
+            // The link stays unprobed this cycle — account for it instead of
+            // dropping it silently.
+            crate::obs::metrics().links_without_dests.inc();
+        } else {
             tasks.push(TslpTask {
                 near_ip,
                 far_ip,
