@@ -7,7 +7,11 @@
 # workspace Rust sources outside the places terminal output is the point:
 #
 #   - crates/cli/           (user-facing command output)
-#   - crates/bench/src/bin/ (benchmark reports)
+#   - crates/bench/src/bin/ (benchmark reports, incl. the serve_load
+#                            load-generator report)
+#
+# Note crates/serve/ is deliberately NOT allowlisted: the HTTP layer logs
+# through manic-obs like every other library crate.
 #
 # A line may opt out with an `ALLOW_PRINT: <reason>` comment — reserved for
 # the journal's own stderr sink and similarly self-justifying sites.

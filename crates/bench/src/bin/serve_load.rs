@@ -1,0 +1,272 @@
+//! Load test for the manic-serve query layer.
+//!
+//! Answers the serving-tier acceptance questions in-process, with no
+//! external tooling: what peak request rate does `/api/links` sustain,
+//! what are the tail latencies at the target operating rate, and how much
+//! does that query load slow the measurement loop sharing the process?
+//!
+//! Method: build the toy world, pre-run a few simulated hours so the tsdb
+//! and audit trail have real content, publish a snapshot, and start the
+//! server on a loopback port. Three phases follow:
+//!
+//! 1. **baseline** — the measurement loop runs alone; mean round duration
+//!    comes from the `manic_core_round_duration_ms` histogram.
+//! 2. **peak** — closed-loop clients hammer the server (HTTP/1.1
+//!    pipelining, keep-alive) with the sim idle: peak throughput.
+//! 3. **paced** — clients offer a fixed target rate (above the 10k req/s
+//!    acceptance floor) while the measurement loop runs; reports achieved
+//!    RPS, p50/p99/p999 latency, and round-duration degradation vs phase 1.
+//!
+//! ```text
+//! cargo run --release -p manic-bench --bin serve_load
+//! ```
+
+use manic_core::{System, SystemConfig};
+use manic_netsim::time::{date_to_sim, Date};
+use manic_scenario::worlds::toy;
+use manic_serve::{ServeConfig, ServeState, Server, SnapshotHub};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Requests per pipelined batch (one client write, one coalesced server
+/// write). 24 keeps batches well under a socket buffer.
+const BATCH: usize = 24;
+const PEAK_CLIENTS: usize = 4;
+const PACED_CLIENTS: usize = 2;
+/// Offered load for the paced phase — above the 10k req/s acceptance bar.
+const TARGET_RPS: u64 = 12_000;
+const PEAK_SECS: u64 = 1;
+const LOAD_SECS: u64 = 3;
+const BASELINE_SECS: u64 = 2;
+/// Simulated span pre-run before serving starts.
+const WARMUP_SIM_HOURS: i64 = 6;
+
+fn t0() -> i64 {
+    date_to_sim(Date::new(2017, 3, 1))
+}
+
+/// Consume one `Content-Length`-framed response; returns the status code.
+fn read_response(r: &mut BufReader<TcpStream>, scratch: &mut Vec<u8>) -> std::io::Result<u16> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "closed"));
+    }
+    let status = line.get(9..12).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut content_len = 0usize;
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "closed"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_len = v.trim().parse().unwrap_or(0);
+        }
+    }
+    scratch.resize(content_len, 0);
+    r.read_exact(scratch)?;
+    Ok(status)
+}
+
+/// One batch of pipelined GETs: mostly `/api/links`, one timeseries query
+/// to keep the downsample + response-cache path warm.
+fn batch_bytes(ts_path: &str) -> Vec<u8> {
+    let mut b = Vec::new();
+    for _ in 0..BATCH - 1 {
+        b.extend_from_slice(b"GET /api/links HTTP/1.1\r\nHost: l\r\n\r\n");
+    }
+    b.extend_from_slice(format!("GET {ts_path} HTTP/1.1\r\nHost: l\r\n\r\n").as_bytes());
+    b
+}
+
+/// Drive one connection with pipelined batches until `stop`. `pace` is the
+/// inter-batch interval (None = closed loop). Returns one latency sample
+/// per request: the batch round-trip, an upper bound on any single
+/// request's server-side latency.
+fn run_client(
+    addr: SocketAddr,
+    batch: Arc<Vec<u8>>,
+    pace: Option<Duration>,
+    stop: Arc<AtomicBool>,
+) -> Vec<u64> {
+    let mut lat = Vec::with_capacity(1 << 16);
+    let mut conn = connect(addr);
+    let mut scratch = Vec::with_capacity(64 * 1024);
+    let mut next = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        if let Some(interval) = pace {
+            let now = Instant::now();
+            if now < next {
+                std::thread::sleep(next - now);
+            } else if now > next + interval * 8 {
+                next = now; // fell badly behind: re-anchor, don't burst
+            }
+            next += interval;
+        }
+        let started = Instant::now();
+        let ok = conn
+            .get_mut()
+            .write_all(&batch)
+            .and_then(|_| {
+                for _ in 0..BATCH {
+                    let status = read_response(&mut conn, &mut scratch)?;
+                    assert_eq!(status, 200, "unexpected status under load");
+                }
+                Ok(())
+            })
+            .is_ok();
+        if ok {
+            let us = started.elapsed().as_micros() as u64;
+            lat.extend(std::iter::repeat_n(us, BATCH));
+        } else {
+            conn = connect(addr);
+        }
+    }
+    lat
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let s = TcpStream::connect(addr).expect("connect to serve_load server");
+    s.set_nodelay(true).expect("nodelay");
+    BufReader::new(s)
+}
+
+/// Run `clients` load threads for `secs`; returns (total requests, merged
+/// latency samples in µs, wall seconds). The closure runs concurrently on
+/// the bench thread (the "sim under load" phase, or nothing).
+fn run_load<F: FnOnce()>(
+    addr: SocketAddr,
+    clients: usize,
+    batch: &Arc<Vec<u8>>,
+    pace: Option<Duration>,
+    secs: u64,
+    concurrent: F,
+) -> (u64, Vec<u64>, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let (b, s) = (Arc::clone(batch), Arc::clone(&stop));
+            std::thread::spawn(move || run_client(addr, b, pace, s))
+        })
+        .collect();
+    let started = Instant::now();
+    concurrent();
+    while started.elapsed() < Duration::from_secs(secs) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Release);
+    let mut lat = Vec::new();
+    for h in handles {
+        lat.extend(h.join().expect("client thread"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    (lat.len() as u64, lat, wall)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run the measurement loop for `secs` wall seconds starting at sim time
+/// `*t`; returns mean round duration (ms) from the manic-obs histogram.
+fn run_sim_for(sys: &mut System, t: &mut i64, secs: u64) -> f64 {
+    let hist = manic_obs::registry().histogram("manic_core_round_duration_ms");
+    let (c0, s0) = (hist.count(), hist.sum_ms());
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        let next = *t + 1800; // six TSLP rounds per quantum
+        sys.run_packet_mode(*t, next);
+        *t = next;
+    }
+    let (c1, s1) = (hist.count(), hist.sum_ms());
+    if c1 > c0 {
+        (s1 - s0) / (c1 - c0) as f64
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    // Progress lines would swamp the report; the journal still records.
+    manic_obs::journal().set_stderr_level(Some(manic_obs::Level::Warn));
+
+    let mut sys = System::new(toy(42), SystemConfig::default());
+    let hub = Arc::new(SnapshotHub::new());
+    let store = Arc::clone(&sys.store);
+
+    // Warm up: a few simulated hours of probing so snapshots, audit trail,
+    // and timeseries are all non-trivial.
+    let from = t0();
+    let mut t = from;
+    sys.run_packet_mode(from, from + WARMUP_SIM_HOURS * 3600);
+    t += WARMUP_SIM_HOURS * 3600;
+    for vi in 0..sys.vps.len() {
+        sys.arm_reactive_loss(vi, from, t);
+    }
+    hub.publish_from(&sys, t, 6 * 3600);
+
+    let cfg = ServeConfig { rate_limit_rps: 0, ..ServeConfig::default() };
+    let state = Arc::new(ServeState::new(Arc::clone(&hub), store, &cfg));
+    let server = Server::start("127.0.0.1:0", state, &cfg).expect("bind loopback");
+    let addr = server.local_addr();
+    let far = hub
+        .current()
+        .links
+        .first()
+        .map(|l| l.far_ip.to_string())
+        .expect("toy world has links");
+    let batch = Arc::new(batch_bytes(&format!("/api/link/{far}/timeseries?bin=300&agg=min")));
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("serve_load: http://{addr}, {cores} core(s), batch={BATCH}");
+
+    // Phase 1: measurement loop alone.
+    let baseline_ms = run_sim_for(&mut sys, &mut t, BASELINE_SECS);
+
+    // Phase 2: peak throughput, sim idle, closed-loop clients.
+    let (peak_n, _, peak_wall) =
+        run_load(addr, PEAK_CLIENTS, &batch, None, PEAK_SECS, || {});
+
+    // Phase 3: paced load at TARGET_RPS while the measurement loop runs.
+    let interval = Duration::from_nanos(BATCH as u64 * PACED_CLIENTS as u64 * 1_000_000_000
+        / TARGET_RPS);
+    let mut loaded_ms = 0.0;
+    let (paced_n, mut lat, paced_wall) =
+        run_load(addr, PACED_CLIENTS, &batch, Some(interval), LOAD_SECS, || {
+            loaded_ms = run_sim_for(&mut sys, &mut t, LOAD_SECS);
+        });
+    server.shutdown();
+
+    lat.sort_unstable();
+    let degradation = if baseline_ms > 0.0 {
+        100.0 * (loaded_ms - baseline_ms).max(0.0) / baseline_ms
+    } else {
+        0.0
+    };
+
+    println!("peak throughput:   {:>10.0} req/s ({PEAK_CLIENTS} closed-loop clients)",
+        peak_n as f64 / peak_wall);
+    println!("paced throughput:  {:>10.0} req/s (target {TARGET_RPS}, {PACED_CLIENTS} clients)",
+        paced_n as f64 / paced_wall);
+    println!("latency p50:       {:>10.3} ms", percentile(&lat, 0.50) as f64 / 1e3);
+    println!("latency p99:       {:>10.3} ms", percentile(&lat, 0.99) as f64 / 1e3);
+    println!("latency p999:      {:>10.3} ms", percentile(&lat, 0.999) as f64 / 1e3);
+    println!("round duration:    {baseline_ms:>10.3} ms alone, {loaded_ms:.3} ms under load");
+    println!("round degradation: {degradation:>10.1} %");
+    let r = manic_obs::registry();
+    println!(
+        "server cache:      {:>10} hits / {} misses",
+        r.counter_value("manic_serve_cache_hits"),
+        r.counter_value("manic_serve_cache_misses"),
+    );
+}

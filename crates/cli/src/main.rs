@@ -11,6 +11,7 @@
 //! manic obs journal [--filter S] [--hours H]           # structured event journal
 //! manic obs explain <far-ip> [--hours H]               # audit trail for one link
 //! manic obs links [--hours H]                          # links with audit records
+//! manic serve [--addr H:P] [--hours H] [--snapshot-interval S]  # HTTP API
 //! ```
 //!
 //! Global flags: `--verbosity trace|debug|info|warn|error` controls both the
@@ -48,6 +49,7 @@ enum CliError {
     UnexpectedArg(String),
     UnknownLevel(String),
     NoAuditRecords { link: String, known: Vec<String> },
+    ServerStart { addr: String, reason: String },
 }
 
 impl fmt::Display for CliError {
@@ -82,6 +84,9 @@ impl fmt::Display for CliError {
                 }
                 Ok(())
             }
+            CliError::ServerStart { addr, reason } => {
+                write!(f, "cannot serve on {addr}: {reason}")
+            }
         }
     }
 }
@@ -108,6 +113,10 @@ struct Args {
     quiet: bool,
     /// `--filter <substring>`: journal dump filter (event name or target).
     filter: Option<String>,
+    /// `manic serve`: listen address.
+    addr: String,
+    /// `manic serve`: wall-clock seconds between snapshot publishes.
+    snapshot_interval: u64,
 }
 
 impl Args {
@@ -124,6 +133,8 @@ impl Args {
             verbosity: None,
             quiet: false,
             filter: None,
+            addr: "127.0.0.1:8379".into(),
+            snapshot_interval: 2,
         };
         while let Some(flag) = argv.next() {
             let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
@@ -142,6 +153,10 @@ impl Args {
                 "--hours" => args.hours = num("--hours", val()?)?,
                 "--format" => args.format = val()?,
                 "--filter" => args.filter = Some(val()?),
+                "--addr" => args.addr = val()?,
+                "--snapshot-interval" => {
+                    args.snapshot_interval = num("--snapshot-interval", val()?)?
+                }
                 "--quiet" => args.quiet = true,
                 "--verbosity" => {
                     let v = val()?;
@@ -167,6 +182,20 @@ impl Args {
             return Err(CliError::InvalidValue {
                 flag: "--hours",
                 reason: format!("must be positive, got {}", args.hours),
+            });
+        }
+        if args.snapshot_interval == 0 {
+            return Err(CliError::InvalidValue {
+                flag: "--snapshot-interval",
+                reason: "must be at least 1 second".into(),
+            });
+        }
+        // A malformed listen address should fail argument parsing, not
+        // surface later as a bind error from inside the server.
+        if args.addr.parse::<std::net::SocketAddr>().is_err() {
+            return Err(CliError::InvalidValue {
+                flag: "--addr",
+                reason: format!("'{}' is not a host:port address", args.addr),
             });
         }
         Ok((cmd, args))
@@ -220,6 +249,7 @@ fn main() -> ExitCode {
             eprintln!("  manic study  [--days D] [--world ..] [--seed N]");
             eprintln!("  manic export --vp <name> [--hours H] [--format json|csv]");
             eprintln!("  manic obs    <metrics|journal|explain <far-ip>|links> [--hours H]");
+            eprintln!("  manic serve  [--addr HOST:PORT] [--hours H] [--snapshot-interval SECS]");
             eprintln!("global flags: --verbosity trace|debug|info|warn|error, --quiet");
             ExitCode::FAILURE
         }
@@ -227,7 +257,10 @@ fn main() -> ExitCode {
 }
 
 fn run(cmd: &str, args: Args) -> Result<(), CliError> {
-    if !matches!(cmd, "world" | "links" | "watch" | "study" | "export" | "inspect" | "obs") {
+    if !matches!(
+        cmd,
+        "world" | "links" | "watch" | "study" | "export" | "inspect" | "obs" | "serve"
+    ) {
         return Err(CliError::UnknownCommand(cmd.to_string()));
     }
     // Only `obs` takes positional arguments.
@@ -243,8 +276,94 @@ fn run(cmd: &str, args: Args) -> Result<(), CliError> {
         "study" => cmd_study(args),
         "export" => cmd_export(args),
         "inspect" => cmd_inspect(args),
+        "serve" => cmd_serve(args),
         _ => cmd_obs(args),
     }
+}
+
+/// `manic serve` — run the measurement loop and the HTTP query API
+/// concurrently. The sim thread owns the `System`, advances packet mode up
+/// to `--hours` of simulated time, and publishes a fresh read snapshot
+/// every `--snapshot-interval` wall seconds; the server threads only ever
+/// see those snapshots, the audit trail, and the (shared, lock-sharded)
+/// tsdb. SIGINT/SIGTERM stop accepting, drain in-flight requests, and join
+/// every thread before exit.
+fn cmd_serve(args: Args) -> Result<(), CliError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Dashboard lookback window for published snapshots.
+    const LOOKBACK_SECS: i64 = 6 * 3600;
+    /// Sim seconds advanced per scheduling quantum (six TSLP rounds) —
+    /// small enough that shutdown and publish cadence stay responsive.
+    const CHUNK_SECS: i64 = 1800;
+
+    manic_serve::signal::install();
+    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let hub = Arc::new(manic_serve::SnapshotHub::new());
+    let store = Arc::clone(&sys.store);
+    let serve_cfg = manic_serve::ServeConfig::default();
+    let state = Arc::new(manic_serve::ServeState::new(Arc::clone(&hub), store, &serve_cfg));
+    let server = manic_serve::Server::start(&args.addr, state, &serve_cfg).map_err(|e| {
+        CliError::ServerStart { addr: args.addr.clone(), reason: e.to_string() }
+    })?;
+    println!(
+        "manic-serve listening on http://{} (world '{}', seed {}, {}h of sim time)",
+        server.local_addr(),
+        args.world,
+        args.seed,
+        args.hours
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sim_stop = Arc::clone(&stop);
+    let sim_hub = Arc::clone(&hub);
+    let interval = Duration::from_secs(args.snapshot_interval);
+    let hours = args.hours;
+    let sim = std::thread::Builder::new()
+        .name("serve-sim".into())
+        .spawn(move || {
+            let from = t0();
+            let end = from + hours * 3600;
+            let mut t = from;
+            let mut armed_to = from;
+            let mut last_pub: Option<Instant> = None;
+            while !sim_stop.load(Ordering::Acquire) {
+                if t < end {
+                    let next = (t + CHUNK_SECS).min(end);
+                    sys.run_packet_mode(t, next);
+                    t = next;
+                }
+                let due = last_pub.map(|p| p.elapsed() >= interval).unwrap_or(true);
+                if due && t > armed_to {
+                    // Reactive level-shift detection feeds the audit trail
+                    // the /api/links verdicts come from.
+                    for vi in 0..sys.vps.len() {
+                        sys.arm_reactive_loss(vi, armed_to, t);
+                    }
+                    armed_to = t;
+                    sim_hub.publish_from(&sys, t, LOOKBACK_SECS.min(t - from).max(1));
+                    last_pub = Some(Instant::now());
+                }
+                if t >= end {
+                    // Fully simulated: keep serving, stay responsive to
+                    // shutdown.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        })
+        .expect("spawn sim thread");
+
+    while !manic_serve::signal::requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("shutting down: draining in-flight requests...");
+    stop.store(true, Ordering::Release);
+    let _ = sim.join();
+    server.shutdown();
+    println!("done.");
+    Ok(())
 }
 
 fn cmd_world(args: Args) -> Result<(), CliError> {
@@ -574,6 +693,31 @@ mod tests {
         assert!(matches!(
             parse(&["watch", "--hours", "-3"]),
             Err(CliError::InvalidValue { flag: "--hours", .. })
+        ));
+    }
+
+    #[test]
+    fn serve_flags_validated() {
+        use super::CliError;
+        let (cmd, a) =
+            parse(&["serve", "--addr", "0.0.0.0:9000", "--snapshot-interval", "5"]).unwrap();
+        assert_eq!(cmd, "serve");
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.snapshot_interval, 5);
+        let (_, d) = parse(&["serve"]).unwrap();
+        assert_eq!(d.addr, "127.0.0.1:8379");
+        assert_eq!(d.snapshot_interval, 2);
+        assert!(matches!(
+            parse(&["serve", "--snapshot-interval", "0"]),
+            Err(CliError::InvalidValue { flag: "--snapshot-interval", .. })
+        ));
+        assert!(matches!(
+            parse(&["serve", "--addr", "not-an-address"]),
+            Err(CliError::InvalidValue { flag: "--addr", .. })
+        ));
+        assert!(matches!(
+            parse(&["serve", "--addr", "localhost"]),
+            Err(CliError::InvalidValue { flag: "--addr", .. })
         ));
     }
 

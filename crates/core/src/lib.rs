@@ -24,4 +24,4 @@ pub mod system;
 
 pub use health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};
 pub use longitudinal::{run_longitudinal, run_longitudinal_detailed, LinkDays, LongitudinalConfig, LongitudinalOutput, VpLinkDays};
-pub use system::{System, SystemConfig, VpRuntime};
+pub use system::{LinkStatus, System, SystemConfig, TaskHealthStatus, VpRuntime};

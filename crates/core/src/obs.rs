@@ -7,7 +7,7 @@
 //! a time and cannot diff consecutive probing sets).
 
 use crate::health::HealthState;
-use manic_obs::{registry, Counter};
+use manic_obs::{registry, Counter, Histogram};
 use std::sync::OnceLock;
 
 pub(crate) struct Metrics {
@@ -35,6 +35,10 @@ pub(crate) struct Metrics {
     /// Congested / clean verdicts recorded to the audit trail.
     pub verdicts_congested: Counter,
     pub verdicts_clean: Counter,
+    /// Wall-clock time spent per simulated TSLP round. The serving layer's
+    /// load tests watch this to prove query traffic does not slow the
+    /// measurement loop.
+    pub round_duration: Histogram,
 }
 
 impl Metrics {
@@ -70,6 +74,7 @@ pub(crate) fn metrics() -> &'static Metrics {
             health_to_retired: health("retired"),
             verdicts_congested: r.counter("manic_core_verdicts_congested"),
             verdicts_clean: r.counter("manic_core_verdicts_clean"),
+            round_duration: r.histogram("manic_core_round_duration_ms"),
         }
     })
 }

@@ -89,10 +89,25 @@ pub struct LinkStatus {
     pub elevated: bool,
 }
 
+/// One row of the serving layer's health report: the health-machine state
+/// of one probing task (tasks the machine has never had to act on report
+/// `Healthy`).
+#[derive(Debug, Clone)]
+pub struct TaskHealthStatus {
+    pub vp: String,
+    pub vp_active: bool,
+    pub near_ip: Ipv4,
+    pub far_ip: Ipv4,
+    pub state: HealthState,
+}
+
 /// The assembled measurement system.
 pub struct System {
     pub world: World,
-    pub store: Store,
+    /// Shared so a serving layer can read series concurrently with the
+    /// measurement loop; `Store`'s methods take `&self`, so existing
+    /// `sys.store.…` call sites are unaffected by the `Arc`.
+    pub store: std::sync::Arc<Store>,
     pub vps: Vec<VpRuntime>,
     pub cfg: SystemConfig,
 }
@@ -123,7 +138,7 @@ impl System {
                 active: true,
             })
             .collect();
-        System { world, store: Store::new(), vps, cfg }
+        System { world, store: std::sync::Arc::new(Store::new()), vps, cfg }
     }
 
     /// Run one full bdrmap cycle for VP `vi` at time `t`: traceroute to every
@@ -274,6 +289,7 @@ impl System {
         let mut rounds = 0;
         let mut t = from;
         while t < to {
+            let round_started = std::time::Instant::now();
             for vi in 0..self.vps.len() {
                 if !self.vps[vi].active {
                     continue;
@@ -329,6 +345,9 @@ impl System {
                 );
             }
             crate::obs::metrics().rounds.inc();
+            crate::obs::metrics()
+                .round_duration
+                .observe(round_started.elapsed().as_secs_f64() * 1e3);
             rounds += 1;
             t += ROUND_SECS;
         }
@@ -534,8 +553,24 @@ impl System {
     }
 
     /// One row of the near-real-time link dashboard (the paper's Grafana
-    /// front-end view, contribution 4).
+    /// front-end view, contribution 4). Records an `elevation` audit
+    /// verdict per task — this is the interactive dashboard path.
     pub fn snapshot(&self, vi: usize, now: SimTime, lookback: SimTime) -> Vec<LinkStatus> {
+        self.link_statuses(vi, now, lookback, true)
+    }
+
+    /// The dashboard rows of one VP, optionally without the audit-trail
+    /// side effect. The serving layer rebuilds its read snapshot on a
+    /// periodic cadence and must not flood the audit trail with one
+    /// `elevation` record per link per rebuild; the interactive dashboard
+    /// (`snapshot`) still records every verdict it shows.
+    pub fn link_statuses(
+        &self,
+        vi: usize,
+        now: SimTime,
+        lookback: SimTime,
+        record_audit: bool,
+    ) -> Vec<LinkStatus> {
         use manic_bdrmap::infer::LinkRel;
         let vp = &self.vps[vi];
         let mut out = Vec::new();
@@ -556,25 +591,28 @@ impl System {
                 (Some(l), Some(b)) => l > b + 7.0,
                 _ => false,
             };
-            // Every dashboard verdict is auditable: record the live §4.2
-            // elevation evidence (latest vs. lookback baseline + 7 ms).
-            manic_obs::audit().record(manic_obs::AuditRecord {
-                t: now,
-                vp: vp.handle.name.clone(),
-                near: task.near_ip.to_string(),
-                link: task.far_ip.to_string(),
-                detector: "elevation",
-                congested: elevated,
-                evidence: vec![manic_obs::Evidence::new(
-                    "elevation",
-                    vec![
-                        ("far_latest_ms", manic_obs::Value::from(far_latest.unwrap_or(f64::NAN))),
-                        ("far_baseline_ms", manic_obs::Value::from(far_baseline.unwrap_or(f64::NAN))),
-                        ("threshold_ms", manic_obs::Value::from(7.0)),
-                        ("lookback_s", manic_obs::Value::from(lookback)),
-                    ],
-                )],
-            });
+            if record_audit {
+                // Every dashboard verdict is auditable: record the live
+                // §4.2 elevation evidence (latest vs. lookback baseline
+                // + 7 ms).
+                manic_obs::audit().record(manic_obs::AuditRecord {
+                    t: now,
+                    vp: vp.handle.name.clone(),
+                    near: task.near_ip.to_string(),
+                    link: task.far_ip.to_string(),
+                    detector: "elevation",
+                    congested: elevated,
+                    evidence: vec![manic_obs::Evidence::new(
+                        "elevation",
+                        vec![
+                            ("far_latest_ms", manic_obs::Value::from(far_latest.unwrap_or(f64::NAN))),
+                            ("far_baseline_ms", manic_obs::Value::from(far_baseline.unwrap_or(f64::NAN))),
+                            ("threshold_ms", manic_obs::Value::from(7.0)),
+                            ("lookback_s", manic_obs::Value::from(lookback)),
+                        ],
+                    )],
+                });
+            }
             let rel = vp
                 .bdrmap
                 .as_ref()
@@ -595,6 +633,38 @@ impl System {
                 near_latest_ms: near_latest,
                 elevated,
             });
+        }
+        out
+    }
+
+    /// Dashboard rows across every VP (active and retired — retired VPs'
+    /// history remains queryable), with no audit side effects. This is the
+    /// serving layer's snapshot-export entry point.
+    pub fn all_link_statuses(&self, now: SimTime, lookback: SimTime) -> Vec<LinkStatus> {
+        (0..self.vps.len())
+            .flat_map(|vi| self.link_statuses(vi, now, lookback, false))
+            .collect()
+    }
+
+    /// Health-machine state of every probing task across every VP. Tasks
+    /// the machine never acted on report `Healthy`.
+    pub fn health_report(&self) -> Vec<TaskHealthStatus> {
+        let mut out = Vec::new();
+        for vp in &self.vps {
+            for task in &vp.tslp.tasks {
+                let state = vp
+                    .health
+                    .get(&(task.near_ip, task.far_ip))
+                    .map(|h| h.state)
+                    .unwrap_or(HealthState::Healthy);
+                out.push(TaskHealthStatus {
+                    vp: vp.handle.name.clone(),
+                    vp_active: vp.active,
+                    near_ip: task.near_ip,
+                    far_ip: task.far_ip,
+                    state,
+                });
+            }
         }
         out
     }

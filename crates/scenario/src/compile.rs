@@ -33,28 +33,74 @@ use manic_netsim::{
 };
 use std::collections::{BTreeMap, HashMap};
 
+/// Errors turning a scenario description into a world. Scenario input
+/// (metro codes, VP placements, host plans) ultimately arrives from the
+/// CLI and the serving layer, so a bad spec must surface as a reportable
+/// error, not a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A PoP code that is not in the metro geography table.
+    UnknownMetro(String),
+    /// An AS was asked to host something (VP, secondary host) at a PoP it
+    /// does not have.
+    NoSuchPop { as_name: String, pop: String },
+    /// `World::try_vp` was asked for a VP name that was never placed.
+    UnknownVp(String),
+    /// `World::try_secondary_host_addr` for an `(asn, pop)` with no
+    /// secondary host.
+    NoSecondaryHost { asn: AsNumber, pop: String },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnknownMetro(code) => write!(f, "unknown metro {code}"),
+            CompileError::NoSuchPop { as_name, pop } => {
+                write!(f, "{as_name} has no PoP {pop}")
+            }
+            CompileError::UnknownVp(name) => write!(f, "unknown VP {name}"),
+            CompileError::NoSecondaryHost { asn, pop } => {
+                write!(f, "no secondary host for {asn} at {pop}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 /// Approximate metro coordinates in a plane where one unit of euclidean
 /// distance equals one millisecond of one-way propagation delay, plus the
-/// metro's standard-time UTC offset.
+/// metro's standard-time UTC offset. Fallible variant of [`metro_info`]
+/// for code paths fed by unvalidated scenario input.
+pub fn try_metro_info(code: &str) -> Result<(f64, f64, i8), CompileError> {
+    metro_table(code).ok_or_else(|| CompileError::UnknownMetro(code.to_string()))
+}
+
+/// Like [`try_metro_info`] but panics on an unknown code — for call sites
+/// whose metros were already validated by [`compile`].
 pub fn metro_info(code: &str) -> (f64, f64, i8) {
+    metro_table(code).unwrap_or_else(|| panic!("unknown metro {code}"))
+}
+
+fn metro_table(code: &str) -> Option<(f64, f64, i8)> {
     match code {
-        "nyc" => (46.0, 13.0, -5),
-        "bos" => (48.0, 11.0, -5),
-        "ash" => (44.0, 16.0, -5), // Ashburn, VA
-        "atl" => (40.0, 22.0, -5),
-        "mia" => (44.0, 30.0, -5),
-        "chi" => (36.0, 14.0, -6),
-        "dfw" => (30.0, 25.0, -6),
-        "hou" => (32.0, 28.0, -6),
-        "den" => (22.0, 17.0, -7),
-        "phx" => (17.0, 26.0, -7),
-        "lax" => (8.0, 25.0, -8),
-        "sjc" => (4.0, 20.0, -8),
-        "sea" => (6.0, 8.0, -8),
-        "lon" => (76.0, 5.0, 0),
-        "fra" => (82.0, 7.0, 1),
-        "ams" => (78.0, 4.0, 1),
-        other => panic!("unknown metro {other}"),
+        "nyc" => Some((46.0, 13.0, -5)),
+        "bos" => Some((48.0, 11.0, -5)),
+        "ash" => Some((44.0, 16.0, -5)), // Ashburn, VA
+        "atl" => Some((40.0, 22.0, -5)),
+        "mia" => Some((44.0, 30.0, -5)),
+        "chi" => Some((36.0, 14.0, -6)),
+        "dfw" => Some((30.0, 25.0, -6)),
+        "hou" => Some((32.0, 28.0, -6)),
+        "den" => Some((22.0, 17.0, -7)),
+        "phx" => Some((17.0, 26.0, -7)),
+        "lax" => Some((8.0, 25.0, -8)),
+        "sjc" => Some((4.0, 20.0, -8)),
+        "sea" => Some((6.0, 8.0, -8)),
+        "lon" => Some((76.0, 5.0, 0)),
+        "fra" => Some((82.0, 7.0, 1)),
+        "ams" => Some((78.0, 4.0, 1)),
+        _ => None,
     }
 }
 
@@ -241,22 +287,41 @@ impl World {
         hp.nth(1 + index)
     }
 
-    /// A responding address served by the `k`-th secondary host of `asn`.
-    pub fn secondary_host_addr(&self, asn: AsNumber, pop: &str, index: u32) -> (Ipv4, RouterId) {
+    /// A responding address served by the secondary host of `asn` at `pop`.
+    pub fn try_secondary_host_addr(
+        &self,
+        asn: AsNumber,
+        pop: &str,
+        index: u32,
+    ) -> Result<(Ipv4, RouterId), CompileError> {
         let sh = self
             .secondary_hosts
             .iter()
             .find(|s| s.asn == asn && s.pop == pop)
-            .unwrap_or_else(|| panic!("no secondary host for {asn} at {pop}"));
-        (sh.prefix.nth(1 + index), sh.router)
+            .ok_or_else(|| CompileError::NoSecondaryHost { asn, pop: pop.to_string() })?;
+        Ok((sh.prefix.nth(1 + index), sh.router))
     }
 
-    /// The VP with the given name.
-    pub fn vp(&self, name: &str) -> &VantagePoint {
+    /// Panicking convenience for experiment code whose `(asn, pop)` pairs
+    /// are compiled into the binary; anything fed by external input should
+    /// use [`Self::try_secondary_host_addr`].
+    pub fn secondary_host_addr(&self, asn: AsNumber, pop: &str, index: u32) -> (Ipv4, RouterId) {
+        self.try_secondary_host_addr(asn, pop, index)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The VP with the given name, if it was placed.
+    pub fn try_vp(&self, name: &str) -> Result<&VantagePoint, CompileError> {
         self.vps
             .iter()
             .find(|v| v.name == name)
-            .unwrap_or_else(|| panic!("unknown VP {name}"))
+            .ok_or_else(|| CompileError::UnknownVp(name.to_string()))
+    }
+
+    /// Panicking convenience for test/experiment code with hard-coded VP
+    /// names; external input goes through [`Self::try_vp`].
+    pub fn vp(&self, name: &str) -> &VantagePoint {
+        self.try_vp(name).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -280,13 +345,23 @@ struct AsPlumbing {
 /// Compile a world.
 ///
 /// `vp_placements`: `(asn, pop)` pairs; `ixp_pairs`: adjacencies whose links
-/// cross the IXP LAN instead of a private /30.
+/// cross the IXP LAN instead of a private /30. Bad scenario input — a PoP
+/// code outside the metro table, a VP or secondary host placed at a PoP the
+/// AS does not have — is an error, not a panic: scenario specs arrive from
+/// the CLI.
 pub fn compile(
     graph: AsGraph,
     vp_placements: &[(AsNumber, &str)],
     ixp_pairs: &[(AsNumber, AsNumber)],
     cfg: &CompileConfig,
-) -> World {
+) -> Result<World, CompileError> {
+    // Validate every referenced metro up front so the plumbing below can
+    // use the infallible lookups.
+    for info in graph.ases() {
+        for pop in &info.pops {
+            try_metro_info(pop)?;
+        }
+    }
     let mut addressing = Addressing::new();
     for info in graph.ases() {
         addressing.register(info.asn);
@@ -377,8 +452,10 @@ pub fn compile(
                 .pops
                 .iter()
                 .position(|p| p == pop)
-                .unwrap_or_else(|| panic!("{} has no PoP {pop}", info.name))
-                as u8;
+                .ok_or_else(|| CompileError::NoSuchPop {
+                    as_name: info.name.clone(),
+                    pop: pop.clone(),
+                })? as u8;
             let (_, _, tz) = metro_info(pop);
             let idx_octet = addressing.of(info.asn).index;
             let prefix = Prefix::new(Ipv4::new(10, idx_octet, 120 + 4 * k as u8, 0), 22);
@@ -410,7 +487,10 @@ pub fn compile(
             .pops
             .iter()
             .position(|p| p == pop)
-            .unwrap_or_else(|| panic!("{} has no PoP {pop}", info.name)) as u8;
+            .ok_or_else(|| CompileError::NoSuchPop {
+                as_name: info.name.clone(),
+                pop: pop.to_string(),
+            })? as u8;
         let (_, _, tz) = metro_info(pop);
         let name = format!("{}-{}", info.name, pop);
         let r = topo.add_router(asn, format!("vp-{name}"), pop, tz, IcmpProfile::default());
@@ -491,7 +571,7 @@ pub fn compile(
         })
         .collect();
 
-    World {
+    Ok(World {
         net: Network::new(topo, fibs, cfg.seed),
         graph,
         routing,
@@ -502,7 +582,7 @@ pub fn compile(
         host_routers,
         bb_routers,
         secondary_hosts,
-    }
+    })
 }
 
 /// Create border routers + the interdomain link for one (adjacency, metro).
@@ -852,4 +932,86 @@ fn build_fibs(
     }
 
     fibs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asgraph::{AsInfo, AsKind};
+
+    fn expect_err(r: Result<World, CompileError>) -> CompileError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected a compile error"),
+        }
+    }
+
+    fn graph_with_pops(pops: &[&str]) -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_as(AsInfo {
+            asn: AsNumber(65001),
+            name: "solo".into(),
+            kind: AsKind::AccessIsp,
+            org: "solo".into(),
+            pops: pops.iter().map(|p| p.to_string()).collect(),
+        });
+        g
+    }
+
+    #[test]
+    fn unknown_metro_is_an_error_not_a_panic() {
+        assert_eq!(
+            try_metro_info("zzz"),
+            Err(CompileError::UnknownMetro("zzz".into()))
+        );
+        let err = expect_err(compile(
+            graph_with_pops(&["nyc", "zzz"]),
+            &[],
+            &[],
+            &CompileConfig::default(),
+        ));
+        assert_eq!(err, CompileError::UnknownMetro("zzz".into()));
+        assert_eq!(err.to_string(), "unknown metro zzz");
+    }
+
+    #[test]
+    fn vp_at_absent_pop_is_an_error() {
+        let err = expect_err(compile(
+            graph_with_pops(&["nyc"]),
+            &[(AsNumber(65001), "chi")],
+            &[],
+            &CompileConfig::default(),
+        ));
+        assert_eq!(
+            err,
+            CompileError::NoSuchPop { as_name: "solo".into(), pop: "chi".into() }
+        );
+    }
+
+    #[test]
+    fn secondary_host_at_absent_pop_is_an_error() {
+        let cfg = CompileConfig {
+            secondary_hosts: vec![(AsNumber(65001), "lax".into())],
+            ..CompileConfig::default()
+        };
+        let err = expect_err(compile(graph_with_pops(&["nyc"]), &[], &[], &cfg));
+        assert_eq!(
+            err,
+            CompileError::NoSuchPop { as_name: "solo".into(), pop: "lax".into() }
+        );
+    }
+
+    #[test]
+    fn world_lookups_report_errors() {
+        let w = compile(graph_with_pops(&["nyc"]), &[], &[], &CompileConfig::default())
+            .expect("single-AS world compiles");
+        assert_eq!(
+            w.try_vp("nope").unwrap_err(),
+            CompileError::UnknownVp("nope".into())
+        );
+        assert_eq!(
+            w.try_secondary_host_addr(AsNumber(65001), "nyc", 0).unwrap_err(),
+            CompileError::NoSecondaryHost { asn: AsNumber(65001), pop: "nyc".into() }
+        );
+    }
 }

@@ -32,5 +32,5 @@ pub mod worlds;
 pub use artifacts::Artifacts;
 pub use asgraph::{AsGraph, AsInfo, AsKind, RelKind};
 pub use bgp::{RouteKind, Routing};
-pub use compile::{CompileConfig, GtLink, VantagePoint, World};
+pub use compile::{CompileConfig, CompileError, GtLink, VantagePoint, World};
 pub use schedule::{amplitude_for_duration, CongestionEpisode};

@@ -203,7 +203,8 @@ pub fn toy(seed: u64) -> World {
         flaky_frac: 0.0,
         ..Default::default()
     };
-    let mut world = compile(g, &[(ACME, "nyc"), (ACME, "chi")], &[], &cfg);
+    let mut world = compile(g, &[(ACME, "nyc"), (ACME, "chi")], &[], &cfg)
+        .expect("builtin toy world compiles");
     let episodes = vec![CongestionEpisode::new(ACME, CDNCO, 0..30, 4.0)];
     install_congestion(&mut world, &episodes);
     world
@@ -592,7 +593,8 @@ pub fn us_broadband(seed: u64) -> World {
         secondary_hosts: vec![(TATA, "ash".to_string())],
         ..Default::default()
     };
-    let mut world = compile(spec.graph, &us_vp_placements(), &ixp_pairs, &cfg);
+    let mut world = compile(spec.graph, &us_vp_placements(), &ixp_pairs, &cfg)
+        .expect("builtin us world compiles");
     install_congestion(&mut world, &us_schedule());
     world
 }

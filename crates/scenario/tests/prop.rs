@@ -112,7 +112,7 @@ proptest! {
         let Some((vp_asn, vp_pop)) = vp_as else { return Ok(()) };
         let cfg = CompileConfig { seed, parallel_link_prob: 0.0, ..Default::default() };
         let placements = [(vp_asn, vp_pop.as_str())];
-        let world = compile(g, &placements, &[], &cfg);
+        let world = compile(g, &placements, &[], &cfg).expect("generated graph compiles");
         let vp = &world.vps[0];
         for info in world.graph.ases() {
             let dst = world.host_addr(info.asn, 1);
@@ -146,7 +146,7 @@ proptest! {
         let Some((vp_asn, vp_pop)) = vp_as else { return Ok(()) };
         let cfg = CompileConfig { seed, parallel_link_prob: 0.0, ..Default::default() };
         let placements = [(vp_asn, vp_pop.as_str())];
-        let world = compile(g, &placements, &[], &cfg);
+        let world = compile(g, &placements, &[], &cfg).expect("generated graph compiles");
         let vp = &world.vps[0];
         let handle = manic_probing::VpHandle {
             name: vp.name.clone(),

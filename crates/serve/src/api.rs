@@ -1,0 +1,182 @@
+//! Request routing: URL → response, reading only the published snapshot,
+//! the audit trail, and the tsdb.
+
+use crate::http::{Request, Response};
+use crate::server::ServeState;
+use manic_tsdb::{Aggregate, TagFilter};
+
+/// Default timeseries window when the client does not name one: 4 h of
+/// five-minute TSLP rounds.
+const DEFAULT_WINDOW_SECS: i64 = 4 * 3600;
+/// Widest permitted window (a full 22-month study, rounded up) — bounds
+/// the per-request work a client can demand.
+const MAX_WINDOW_SECS: i64 = 700 * 86_400;
+
+/// Route one request. Rate limiting already happened in the worker; this
+/// is pure read-side logic.
+pub fn handle(state: &ServeState, req: &Request) -> Response {
+    let started = std::time::Instant::now();
+    crate::obs::metrics().endpoint_counter(&req.path).inc();
+    let resp = route(state, req);
+    let m = crate::obs::metrics();
+    m.status_counter(resp.status).inc();
+    m.request_duration.observe(started.elapsed().as_secs_f64() * 1e3);
+    resp
+}
+
+fn route(state: &ServeState, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::error(405, "only GET is supported");
+    }
+    match req.path.as_str() {
+        "/api/links" => {
+            let snap = state.hub.current();
+            Response {
+                status: 200,
+                content_type: "application/json",
+                body: snap.links_json.clone(),
+            }
+        }
+        "/api/health" => {
+            let snap = state.hub.current();
+            Response {
+                status: 200,
+                content_type: "application/json",
+                body: snap.health_json.clone(),
+            }
+        }
+        "/metrics" => Response::new(
+            200,
+            "text/plain; version=0.0.4",
+            manic_obs::registry().render_prometheus().into_bytes(),
+        ),
+        path => {
+            if let Some(rest) = path.strip_prefix("/api/link/") {
+                match rest.split_once('/') {
+                    Some((link, "timeseries")) => return cached(state, req, link, timeseries),
+                    Some((link, "explain")) => return cached(state, req, link, explain),
+                    _ => {}
+                }
+            }
+            Response::error(404, "no such resource")
+        }
+    }
+}
+
+/// Run `render` through the epoch-keyed response cache.
+fn cached(
+    state: &ServeState,
+    req: &Request,
+    link: &str,
+    render: fn(&ServeState, &Request, &str) -> Response,
+) -> Response {
+    let epoch = state.hub.epoch();
+    let cache_key = format!("{}?{}", req.path, req.raw_query);
+    if let Some(hit) = state.cache.get(&cache_key, epoch) {
+        return hit;
+    }
+    let resp = render(state, req, link);
+    state.cache.put(&cache_key, epoch, resp.clone());
+    resp
+}
+
+fn parse_agg(s: &str) -> Option<Aggregate> {
+    match s {
+        "min" => Some(Aggregate::Min),
+        "max" => Some(Aggregate::Max),
+        "mean" => Some(Aggregate::Mean),
+        "sum" => Some(Aggregate::Sum),
+        "count" => Some(Aggregate::Count),
+        "last" => Some(Aggregate::Last),
+        _ => None,
+    }
+}
+
+fn timeseries(state: &ServeState, req: &Request, link: &str) -> Response {
+    let bin = match req.param("bin").map(str::parse::<i64>).unwrap_or(Ok(300)) {
+        Ok(b) if b > 0 => b,
+        _ => return Response::error(400, "bin must be a positive integer of seconds"),
+    };
+    let Some(agg) = parse_agg(req.param("agg").unwrap_or("min")) else {
+        return Response::error(400, "agg must be one of min|max|mean|sum|count|last");
+    };
+    let window = match req.param("window").map(str::parse::<i64>).unwrap_or(Ok(DEFAULT_WINDOW_SECS))
+    {
+        Ok(w) if w > 0 && w <= MAX_WINDOW_SECS => w,
+        _ => return Response::error(400, "window must be a positive number of seconds"),
+    };
+    let snap = state.hub.current();
+    let end = match req.param("end").map(str::parse::<i64>) {
+        None => snap.sim_now + 1,
+        Some(Ok(e)) => e,
+        Some(Err(_)) => return Response::error(400, "end must be a sim-time integer"),
+    };
+    let format = req.param("format").unwrap_or("json");
+    if format != "json" && format != "csv" {
+        return Response::error(400, "format must be json or csv");
+    }
+
+    let filter = TagFilter::from_pairs([("link", link)]);
+    let mut keys = state.store.find_series("tslp", &filter);
+    if keys.is_empty() && !snap.link_ips.contains(link) {
+        return Response::error(404, "unknown link");
+    }
+    keys.sort_by_key(|k| k.to_string());
+    let start = end - window;
+
+    if format == "csv" {
+        let mut out = String::from("series,t,v\n");
+        for key in &keys {
+            // Series keys contain commas (`tslp,link=...`), so the field
+            // must be RFC 4180 quoted.
+            let name = key.to_string().replace('"', "\"\"");
+            for p in state.store.downsample(key, start, end, bin, agg) {
+                out.push_str(&format!("\"{name}\",{},{}\n", p.t, p.v));
+            }
+        }
+        return Response::new(200, "text/csv", out.into_bytes());
+    }
+
+    let mut out = format!(
+        "{{\"link\":\"{}\",\"epoch\":{},\"start\":{start},\"end\":{end},\"bin\":{bin},\
+         \"agg\":\"{}\",\"series\":[",
+        manic_obs::json_escape(link),
+        snap.epoch,
+        req.param("agg").unwrap_or("min"),
+    );
+    for (i, key) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"points\":[",
+            manic_obs::json_escape(&key.to_string())
+        ));
+        let pts = state.store.downsample(key, start, end, bin, agg);
+        for (j, p) in pts.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", p.t, p.v));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+fn explain(state: &ServeState, _req: &Request, link: &str) -> Response {
+    let records = manic_obs::audit().explain(link);
+    if records.is_empty() && !state.hub.current().link_ips.contains(link) {
+        return Response::error(404, "unknown link");
+    }
+    let mut out = format!("{{\"link\":\"{}\",\"records\":[", manic_obs::json_escape(link));
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rec.to_json());
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}

@@ -1,0 +1,120 @@
+//! LRU response cache keyed on `(path + query, snapshot epoch)`.
+//!
+//! Timeseries downsampling and explain rendering are the two endpoints
+//! whose cost scales with data volume; dashboards poll them with identical
+//! parameters every few seconds. Keying the cache on the snapshot epoch
+//! makes invalidation free: a publish bumps the epoch, new requests miss,
+//! and the stale entries age out through normal LRU pressure — no
+//! explicit flush, no stale reads.
+
+use crate::http::Response;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A cached response body (status + content type + shared bytes).
+pub type CachedResponse = Response;
+
+struct Inner {
+    map: HashMap<(String, u64), (u64, CachedResponse)>,
+    /// Monotone access stamp for LRU ordering.
+    stamp: u64,
+}
+
+/// Bounded LRU of rendered responses. Eviction scans for the oldest stamp
+/// — O(capacity), fine for the intended tens-to-hundreds of entries (the
+/// capacity bounds memory, not lookup cost).
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+impl ResponseCache {
+    pub fn new(cap: usize) -> Self {
+        ResponseCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), stamp: 0 }),
+            cap: cap.max(1),
+        }
+    }
+
+    pub fn get(&self, path_query: &str, epoch: u64) -> Option<CachedResponse> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let hit = inner.map.get_mut(&(path_query.to_string(), epoch));
+        match hit {
+            Some((s, resp)) => {
+                *s = stamp;
+                let resp = resp.clone();
+                crate::obs::metrics().cache_hits.inc();
+                Some(resp)
+            }
+            None => {
+                crate::obs::metrics().cache_misses.inc();
+                None
+            }
+        }
+    }
+
+    pub fn put(&self, path_query: &str, epoch: u64, resp: CachedResponse) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if inner.map.len() >= self.cap
+            && !inner.map.contains_key(&(path_query.to_string(), epoch))
+        {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (s, _))| *s)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert((path_query.to_string(), epoch), (stamp, resp));
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(tag: &str) -> Response {
+        Response::json(200, format!("{{\"tag\":\"{tag}\"}}"))
+    }
+
+    fn body(r: &Response) -> String {
+        String::from_utf8(r.body.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_same_body_and_epoch_isolates() {
+        let c = ResponseCache::new(8);
+        assert!(c.get("/a", 1).is_none());
+        c.put("/a", 1, resp("one"));
+        assert_eq!(body(&c.get("/a", 1).unwrap()), "{\"tag\":\"one\"}");
+        // Same path, new epoch: miss.
+        assert!(c.get("/a", 2).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let c = ResponseCache::new(2);
+        c.put("/a", 1, resp("a"));
+        c.put("/b", 1, resp("b"));
+        c.get("/a", 1); // touch /a so /b is coldest
+        c.put("/c", 1, resp("c"));
+        assert!(c.get("/b", 1).is_none(), "coldest entry evicted");
+        assert!(c.get("/a", 1).is_some());
+        assert!(c.get("/c", 1).is_some());
+        assert_eq!(c.len(), 2);
+    }
+}

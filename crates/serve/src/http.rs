@@ -1,0 +1,294 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams.
+//!
+//! The serving layer speaks exactly the slice of HTTP its API needs: `GET`
+//! requests with headers and no meaningful body, keep-alive by default,
+//! `Content-Length`-delimited responses. Parsing is deliberately strict —
+//! anything outside that slice becomes a 400, never UB or a panic — because
+//! the socket is the one interface of the system exposed to arbitrary
+//! remote input.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// Hard cap on request-line + header bytes; anything longer is rejected.
+/// Generous for curl/Grafana-style clients, small enough that a hostile
+/// client cannot balloon worker memory.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    /// Percent-decoded path, query string stripped.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw query string as received (cache key material: two encodings of
+    /// the same logical query may cache separately, which is only a miss).
+    pub raw_query: String,
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Clean EOF before any request byte: the client closed a keep-alive
+    /// connection. Not an error worth a response.
+    Eof,
+    /// Read error / timeout mid-request.
+    Io,
+    /// Syntactically unacceptable request — answer 400 and close.
+    Malformed(&'static str),
+}
+
+/// Read one request head from `r`. Any request body is not consumed —
+/// callers treat a body-carrying request as malformed upstream via the 411
+/// check here (the API is GET-only).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    let mut total = 0usize;
+    match r.read_line(&mut line) {
+        Ok(0) => return Err(ParseError::Eof),
+        Ok(n) => total += n,
+        Err(_) => return Err(ParseError::Io),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("bad request line"));
+    }
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut has_body = false;
+    loop {
+        let mut h = String::new();
+        match r.read_line(&mut h) {
+            Ok(0) => return Err(ParseError::Malformed("truncated headers")),
+            Ok(n) => total += n,
+            Err(_) => return Err(ParseError::Io),
+        }
+        if total > MAX_HEAD_BYTES {
+            return Err(ParseError::Malformed("headers too large"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Err(ParseError::Malformed("bad header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "content-length" if value.parse::<u64>().map(|n| n > 0).unwrap_or(true) => {
+                has_body = true;
+            }
+            "transfer-encoding" => has_body = true,
+            _ => {}
+        }
+    }
+    if has_body {
+        return Err(ParseError::Malformed("request bodies not accepted"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q.to_string()),
+        None => (target.as_str(), String::new()),
+    };
+    let path = percent_decode(raw_path).ok_or(ParseError::Malformed("bad escape in path"))?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = percent_decode(k).ok_or(ParseError::Malformed("bad escape in query"))?;
+        let v = percent_decode(v).ok_or(ParseError::Malformed("bad escape in query"))?;
+        query.push((k, v));
+    }
+    Ok(Request { method, path, query, raw_query, keep_alive })
+}
+
+/// Decode `%XX` escapes and `+` (as space, query convention). `None` on a
+/// truncated or non-hex escape or invalid UTF-8.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi << 4 | lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// One response. Bodies are `Arc`d so cached responses are shared, not
+/// copied, across the worker pool.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Arc<Vec<u8>>,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Response { status, content_type, body: Arc::new(body) }
+    }
+
+    pub fn json(status: u16, body: String) -> Self {
+        Response::new(status, "application/json", body.into_bytes())
+    }
+
+    /// Uniform JSON error envelope.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\":{{\"status\":{},\"message\":\"{}\"}}}}",
+                status,
+                manic_obs::json_escape(message)
+            ),
+        )
+    }
+
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Append the serialized head + body to `out`. Rendering into a caller
+    /// buffer lets the connection loop coalesce pipelined responses into a
+    /// single `write(2)` instead of paying syscalls per response.
+    pub fn render_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        out.reserve(head.len() + self.body.len());
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serialize head + body onto `w` in one write.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let mut out = Vec::new();
+        self.render_into(&mut out, keep_alive);
+        w.write_all(&out)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /api/link/10.1.0.2/timeseries?bin=300&agg=min HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/api/link/10.1.0.2/timeseries");
+        assert_eq!(r.param("bin"), Some("300"));
+        assert_eq!(r.param("agg"), Some("min"));
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage_and_bodies() {
+        assert!(matches!(parse("NONSENSE\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(ParseError::Eof)));
+        let huge = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(20_000));
+        assert!(matches!(parse(&huge), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("%2Fx").as_deref(), Some("/x"));
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("%2"), None);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".into()).write_to(&mut buf, true).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("{\"ok\":true}"));
+    }
+}

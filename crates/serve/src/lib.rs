@@ -1,0 +1,45 @@
+//! `manic-serve`: a query/serving layer for congestion state.
+//!
+//! The production MANIC system of the paper fronts its InfluxDB backend
+//! with a query API and a Grafana dashboard (§3, Figure 1); operators and
+//! the public-data consumers of contribution 4 never touch the measurement
+//! pipeline directly. This crate reproduces that serving tier as a
+//! zero-dependency HTTP/1.1 server over `std::net`:
+//!
+//! * `GET /api/links` — every monitored interdomain link with its live
+//!   elevation state and latest level-shift verdict;
+//! * `GET /api/link/<far-ip>/timeseries?bin=&agg=` — downsampled TSLP
+//!   series for one link, JSON or CSV;
+//! * `GET /api/link/<far-ip>/explain` — the inference audit trail for one
+//!   link (the machine-readable `manic obs explain`);
+//! * `GET /api/health` — per-task probing health states;
+//! * `GET /metrics` — Prometheus text exposition of the whole process.
+//!
+//! The architectural point is the **snapshot layer** ([`SnapshotHub`]): the
+//! measurement loop periodically publishes an immutable [`Snapshot`]
+//! (pre-rendered JSON included) behind an atomic epoch swap, so the hot
+//! read path never takes a tsdb write lock and `/api/links` is a memcpy.
+//! Expensive per-query work (timeseries downsampling, explain rendering)
+//! is memoized in an LRU [`ResponseCache`] keyed on `(path, query,
+//! snapshot epoch)` — a new epoch naturally invalidates everything. A
+//! per-client token bucket ([`RateLimiter`]) protects the measurement
+//! host's CPU from abusive clients.
+//!
+//! Everything the server returns is derived from the snapshot, the audit
+//! trail, and the tsdb — the layers a real deployment would export. The
+//! simulator's withheld ground truth is not reachable from here.
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub(crate) mod obs;
+pub mod ratelimit;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+
+pub use cache::{CachedResponse, ResponseCache};
+pub use http::{Request, Response};
+pub use ratelimit::RateLimiter;
+pub use server::{Server, ServeConfig, ServeState};
+pub use snapshot::{Snapshot, SnapshotHub};

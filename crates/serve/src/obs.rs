@@ -1,0 +1,80 @@
+//! Metric handles for the serving layer (`manic_serve_*`).
+
+use manic_obs::{registry, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct Metrics {
+    /// Requests accepted for routing, by endpoint family.
+    pub requests_links: Counter,
+    pub requests_timeseries: Counter,
+    pub requests_explain: Counter,
+    pub requests_health: Counter,
+    pub requests_metrics: Counter,
+    pub requests_other: Counter,
+    /// Responses by status class.
+    pub responses_2xx: Counter,
+    pub responses_4xx: Counter,
+    pub responses_5xx: Counter,
+    /// Requests rejected by the per-client token bucket.
+    pub rate_limited: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub snapshots_published: Counter,
+    /// Currently open client connections.
+    pub connections: Gauge,
+    /// Wall-clock request handling time (parse excluded, render included).
+    pub request_duration: Histogram,
+}
+
+impl Metrics {
+    pub fn endpoint_counter(&self, path: &str) -> &Counter {
+        if path == "/api/links" {
+            &self.requests_links
+        } else if path == "/api/health" {
+            &self.requests_health
+        } else if path == "/metrics" {
+            &self.requests_metrics
+        } else if path.starts_with("/api/link/") && path.ends_with("/timeseries") {
+            &self.requests_timeseries
+        } else if path.starts_with("/api/link/") && path.ends_with("/explain") {
+            &self.requests_explain
+        } else {
+            &self.requests_other
+        }
+    }
+
+    pub fn status_counter(&self, status: u16) -> &Counter {
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+    }
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(|| {
+        let r = registry();
+        let req = |ep| r.counter_labeled("manic_serve_requests", &[("endpoint", ep)]);
+        let resp = |class| r.counter_labeled("manic_serve_responses", &[("class", class)]);
+        Metrics {
+            requests_links: req("links"),
+            requests_timeseries: req("timeseries"),
+            requests_explain: req("explain"),
+            requests_health: req("health"),
+            requests_metrics: req("metrics"),
+            requests_other: req("other"),
+            responses_2xx: resp("2xx"),
+            responses_4xx: resp("4xx"),
+            responses_5xx: resp("5xx"),
+            rate_limited: r.counter("manic_serve_rate_limited"),
+            cache_hits: r.counter("manic_serve_cache_hits"),
+            cache_misses: r.counter("manic_serve_cache_misses"),
+            snapshots_published: r.counter("manic_serve_snapshots_published"),
+            connections: r.gauge("manic_serve_open_connections"),
+            request_duration: r.histogram("manic_serve_request_duration_ms"),
+        }
+    })
+}

@@ -1,0 +1,203 @@
+//! The TCP front end: a fixed worker pool over an accept thread.
+//!
+//! `std::net` only — one thread blocks in `accept`, pushes connections
+//! onto an mpsc channel, and `workers` threads pull from it behind a
+//! shared `Mutex<Receiver>`. Keep-alive connections are served until the
+//! client closes, an idle read times out, or shutdown is requested.
+//! Shutdown is graceful: the flag flips, the accept thread is woken by a
+//! loopback self-connect, the channel drains, and every worker finishes
+//! (writes the response for) the request it is on before exiting.
+
+use crate::api;
+use crate::cache::ResponseCache;
+use crate::http::{self, ParseError, Response};
+use crate::ratelimit::RateLimiter;
+use crate::snapshot::SnapshotHub;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Tuning for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Per-client request budget; 0 = unlimited. The default is far above
+    /// any dashboard's needs but still bounds a hostile client.
+    pub rate_limit_rps: u64,
+    pub rate_limit_burst: u64,
+    /// Response-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Idle keep-alive connections are closed after this long.
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 8,
+            rate_limit_rps: 100_000,
+            rate_limit_burst: 20_000,
+            cache_capacity: 256,
+            keep_alive_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything the read path needs, shared across workers.
+pub struct ServeState {
+    pub hub: Arc<SnapshotHub>,
+    pub store: Arc<manic_tsdb::Store>,
+    pub cache: ResponseCache,
+    pub limiter: RateLimiter,
+}
+
+impl ServeState {
+    pub fn new(hub: Arc<SnapshotHub>, store: Arc<manic_tsdb::Store>, cfg: &ServeConfig) -> Self {
+        ServeState {
+            hub,
+            store,
+            cache: ResponseCache::new(cfg.cache_capacity),
+            limiter: RateLimiter::new(cfg.rate_limit_rps, cfg.rate_limit_burst),
+        }
+    }
+}
+
+/// A running server. Dropping without calling [`Server::shutdown`] leaks
+/// the threads until process exit (they hold no state worth flushing).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: thread::JoinHandle<()>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 picks a free port) and start serving.
+    pub fn start(
+        addr: &str,
+        state: Arc<ServeState>,
+        cfg: &ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let keep_alive_timeout = cfg.keep_alive_timeout;
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let conn = rx.lock().unwrap().recv();
+                        match conn {
+                            Ok(stream) => {
+                                serve_connection(stream, &state, &shutdown, keep_alive_timeout)
+                            }
+                            // Sender dropped: accept thread exited, drain done.
+                            Err(_) => break,
+                        }
+                    })?,
+            );
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = thread::Builder::new().name("serve-accept".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A send only fails once workers are gone, i.e. at
+                    // shutdown; dropping the connection then is correct.
+                    let _ = tx.send(stream);
+                }
+            }
+            // `tx` drops here, unblocking every idle worker.
+        })?;
+
+        Ok(Server { addr: local, shutdown, accept_handle, workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful stop: no new connections, in-flight requests complete.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_handle.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &ServeState,
+    shutdown: &AtomicBool,
+    keep_alive_timeout: Duration,
+) {
+    let m = crate::obs::metrics();
+    m.connections.add(1);
+    let peer_ip = stream.peer_addr().map(|a| a.ip()).ok();
+    let _ = stream.set_read_timeout(Some(keep_alive_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            m.connections.add(-1);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    // Pipelined responses coalesce here and flush in one write once the
+    // client's buffered input drains (or the batch gets large) — for a
+    // request-at-a-time client this degenerates to one write per response.
+    let mut out: Vec<u8> = Vec::new();
+    const FLUSH_BYTES: usize = 64 * 1024;
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ParseError::Eof) | Err(ParseError::Io) => break,
+            Err(ParseError::Malformed(msg)) => {
+                Response::error(400, msg).render_into(&mut out, false);
+                break;
+            }
+        };
+        let allowed = peer_ip.map(|ip| state.limiter.allow(ip)).unwrap_or(true);
+        let resp = if allowed {
+            api::handle(state, &req)
+        } else {
+            Response::error(429, "rate limit exceeded")
+        };
+        let draining = shutdown.load(Ordering::Acquire);
+        let keep_alive = req.keep_alive && !draining;
+        resp.render_into(&mut out, keep_alive);
+        if reader.buffer().is_empty() || out.len() >= FLUSH_BYTES {
+            if writer.write_all(&out).is_err() {
+                break;
+            }
+            out.clear();
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+    let _ = writer.write_all(&out);
+    m.connections.add(-1);
+}

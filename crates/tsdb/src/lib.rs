@@ -27,4 +27,4 @@ pub use key::{SeriesKey, TagSet};
 pub use lineproto::{format_line, parse_line, LineProtoError};
 pub use quality::{QualityFlags, QualityLog};
 pub use series::{Aggregate, Point, Series};
-pub use store::{Store, TagFilter};
+pub use store::{LatestCell, LatestHandle, Store, TagFilter};

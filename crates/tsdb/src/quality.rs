@@ -76,8 +76,13 @@ impl QualityLog {
             .fold(0, |acc, &(_, _, fl)| acc | fl)
     }
 
-    /// Per-bin OR of flags across `[start, end)` in `bin_secs` bins.
+    /// Per-bin OR of flags across `[start, end)` in `bin_secs` bins. Same
+    /// edge-case contract as `Series::downsample_dense`: non-positive bins
+    /// and empty/inverted windows yield no bins.
     pub fn dense(&self, start: i64, end: i64, bin_secs: i64) -> Vec<QualityFlags> {
+        if bin_secs <= 0 || end <= start {
+            return Vec::new();
+        }
         let nbins = ((end - start).max(0) + bin_secs - 1) / bin_secs;
         let mut out = vec![0; nbins as usize];
         for &(f, t, fl) in &self.windows {

@@ -76,8 +76,14 @@ impl Series {
         }
     }
 
-    /// All points with `start <= t < end`.
+    /// All points with `start <= t < end`. An empty or inverted window
+    /// (`end <= start`) selects nothing — callers forward user-supplied
+    /// windows (the serving layer's query parameters) straight here, so an
+    /// inverted range must be a harmless no-op, not a slice panic.
     pub fn range(&self, start: i64, end: i64) -> &[Point] {
+        if end <= start {
+            return &[];
+        }
         let lo = self.points.partition_point(|p| p.t < start);
         let hi = self.points.partition_point(|p| p.t < end);
         &self.points[lo..hi]
@@ -97,9 +103,15 @@ impl Series {
     /// `bin_secs`, applying `agg` per bin. Empty bins yield no output point.
     ///
     /// Output timestamps are the *start* of each bin, aligned to
-    /// `start + k*bin_secs`.
+    /// `start + k*bin_secs`. When `bin_secs` does not divide the window the
+    /// final bin is simply shorter: points past `end` never contribute.
+    /// Non-positive bins and empty/inverted windows yield no bins — these
+    /// arrive from user-supplied query parameters, and must degrade to an
+    /// empty result rather than panic.
     pub fn downsample(&self, start: i64, end: i64, bin_secs: i64, agg: Aggregate) -> Vec<Point> {
-        assert!(bin_secs > 0, "bin size must be positive");
+        if bin_secs <= 0 || end <= start {
+            return Vec::new();
+        }
         let pts = self.range(start, end);
         let mut out = Vec::new();
         let mut i = 0;
@@ -128,8 +140,9 @@ impl Series {
         bin_secs: i64,
         agg: Aggregate,
     ) -> Vec<Option<f64>> {
-        assert!(bin_secs > 0, "bin size must be positive");
-        assert!(end >= start);
+        if bin_secs <= 0 || end <= start {
+            return Vec::new();
+        }
         let nbins = ((end - start) + bin_secs - 1) / bin_secs;
         let mut out = vec![None; nbins as usize];
         for p in self.downsample(start, end, bin_secs, agg) {
@@ -217,6 +230,40 @@ mod tests {
         assert_eq!(s.trim_before(150), 2);
         assert_eq!(s.len(), 1);
         assert_eq!(s.span(), Some((200, 200)));
+    }
+
+    #[test]
+    fn inverted_and_empty_windows_are_harmless() {
+        let s = series(&[(0, 1.0), (300, 2.0)]);
+        assert!(s.range(500, 100).is_empty());
+        assert!(s.range(300, 300).is_empty());
+        assert!(s.downsample(500, 100, 300, Aggregate::Min).is_empty());
+        assert!(s.downsample(0, 0, 300, Aggregate::Min).is_empty());
+        assert!(s.downsample_dense(500, 100, 300, Aggregate::Min).is_empty());
+        assert!(s.downsample_dense(100, 100, 300, Aggregate::Min).is_empty());
+    }
+
+    #[test]
+    fn non_positive_bin_yields_no_bins() {
+        let s = series(&[(0, 1.0), (300, 2.0)]);
+        assert!(s.downsample(0, 600, 0, Aggregate::Min).is_empty());
+        assert!(s.downsample(0, 600, -300, Aggregate::Min).is_empty());
+        assert!(s.downsample_dense(0, 600, 0, Aggregate::Min).is_empty());
+    }
+
+    #[test]
+    fn bin_not_dividing_window_keeps_partial_last_bin() {
+        // Window of 700 s with 300 s bins: bins [0,300), [300,600), [600,700).
+        let s = series(&[(0, 5.0), (650, 1.0), (699, 3.0)]);
+        let bins = s.downsample(0, 700, 300, Aggregate::Min);
+        assert_eq!(bins, vec![Point::new(0, 5.0), Point::new(600, 1.0)]);
+        let dense = s.downsample_dense(0, 700, 300, Aggregate::Min);
+        assert_eq!(dense, vec![Some(5.0), None, Some(1.0)]);
+        // A point at or past `end` never contributes, even though the last
+        // bin's nominal span [600, 900) would cover it.
+        let s2 = series(&[(650, 1.0), (700, 99.0), (750, 0.1)]);
+        let bins2 = s2.downsample(0, 700, 300, Aggregate::Min);
+        assert_eq!(bins2, vec![Point::new(600, 1.0)]);
     }
 
     #[test]

@@ -6,9 +6,73 @@ use crate::series::{Aggregate, Point, Series};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 const SHARDS: usize = 16;
+
+/// Seqlock-published most-recent sample of one series.
+///
+/// Writers (which are already serialized per series by the points shard
+/// write lock) bump `seq` to odd, store the pair, bump back to even; readers
+/// retry until they observe a stable even `seq`. Readers therefore never
+/// touch a shard lock once they hold the cell — the serving layer's
+/// `latest()` hot path proceeds even while ingest holds every shard write
+/// lock.
+#[derive(Debug, Default)]
+pub struct LatestCell {
+    /// Even = stable; zero = never written.
+    seq: AtomicU64,
+    t: AtomicI64,
+    /// `f64::to_bits` of the value.
+    bits: AtomicU64,
+}
+
+impl LatestCell {
+    /// Publish a new latest sample. Callers must hold the per-series write
+    /// exclusion (the points shard write lock) — the seqlock protocol
+    /// assumes one writer at a time.
+    fn publish(&self, t: i64, v: f64) {
+        self.seq.fetch_add(1, Ordering::Release);
+        self.t.store(t, Ordering::Relaxed);
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Timestamp of the published sample, or `i64::MIN` when never written.
+    /// Only meaningful to the (exclusive) writer deciding whether a new
+    /// sample supersedes the published one.
+    fn writer_t(&self) -> i64 {
+        if self.seq.load(Ordering::Relaxed) == 0 {
+            i64::MIN
+        } else {
+            self.t.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Lock-free consistent read of the latest `(t, v)` pair.
+    pub fn read(&self) -> Option<Point> {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return None;
+            }
+            if s1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let t = self.t.load(Ordering::Relaxed);
+            let bits = self.bits.load(Ordering::Relaxed);
+            if self.seq.load(Ordering::Acquire) == s1 {
+                return Some(Point::new(t, f64::from_bits(bits)));
+            }
+        }
+    }
+}
+
+/// Cloneable handle onto one series' latest-sample cell; hot read loops
+/// fetch it once and bypass even the lookup-map read lock thereafter.
+pub type LatestHandle = Arc<LatestCell>;
 
 /// Tag predicate for series selection: every listed pair must match.
 pub type TagFilter = TagSet;
@@ -37,6 +101,10 @@ pub struct Store {
     shards: Vec<RwLock<HashMap<SeriesKey, Series>>>,
     /// Quality annotations, sharded like the points (see [`crate::quality`]).
     quality: Vec<RwLock<HashMap<SeriesKey, QualityLog>>>,
+    /// Latest-sample cells, sharded like the points. The map lock is only
+    /// taken to locate a cell; the cell itself is a seqlock (see
+    /// [`LatestCell`]), so `latest()` readers never contend with ingest.
+    latest: Vec<RwLock<HashMap<SeriesKey, LatestHandle>>>,
 }
 
 impl Default for Store {
@@ -50,6 +118,7 @@ impl Store {
         Store {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             quality: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            latest: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         }
     }
 
@@ -63,10 +132,25 @@ impl Store {
         &self.shards[Self::shard_index(key)]
     }
 
+    /// The latest cell of `key`, created on first use. Must be called while
+    /// holding the points shard write lock for `key` so that cell publishes
+    /// stay single-writer.
+    fn latest_cell(&self, key: &SeriesKey) -> LatestHandle {
+        if let Some(cell) = self.latest[Self::shard_index(key)].read().unwrap().get(key) {
+            return Arc::clone(cell);
+        }
+        let mut map = self.latest[Self::shard_index(key)].write().unwrap();
+        Arc::clone(map.entry(key.clone()).or_default())
+    }
+
     /// Append one point to a series, creating the series if needed.
     pub fn write(&self, key: &SeriesKey, t: i64, v: f64) {
         let mut shard = self.shard(key).write().unwrap();
         shard.entry(key.clone()).or_default().push(t, v);
+        let cell = self.latest_cell(key);
+        if t >= cell.writer_t() {
+            cell.publish(t, v);
+        }
     }
 
     /// Append many points to a series in one lock acquisition.
@@ -76,9 +160,38 @@ impl Store {
         }
         let mut shard = self.shard(key).write().unwrap();
         let series = shard.entry(key.clone()).or_default();
+        let mut newest: Option<Point> = None;
         for p in points {
             series.push(p.t, p.v);
+            if newest.is_none_or(|n| p.t >= n.t) {
+                newest = Some(*p);
+            }
         }
+        let cell = self.latest_cell(key);
+        if let Some(n) = newest {
+            if n.t >= cell.writer_t() {
+                cell.publish(n.t, n.v);
+            }
+        }
+    }
+
+    /// Most recent sample of one series without touching any shard write
+    /// lock: the lookup takes a read lock on a dedicated cell map (never
+    /// held by point ingest beyond first-write cell creation) and the cell
+    /// itself is read via a seqlock. Reflects the highest-timestamp sample
+    /// ever written, independent of retention trimming.
+    pub fn latest(&self, key: &SeriesKey) -> Option<Point> {
+        self.latest[Self::shard_index(key)]
+            .read()
+            .unwrap()
+            .get(key)
+            .and_then(|cell| cell.read())
+    }
+
+    /// Cloneable handle for repeated [`Self::latest`]-style reads of one
+    /// series; `None` until the series receives its first point.
+    pub fn latest_handle(&self, key: &SeriesKey) -> Option<LatestHandle> {
+        self.latest[Self::shard_index(key)].read().unwrap().get(key).map(Arc::clone)
     }
 
     /// Number of distinct series.
@@ -140,11 +253,14 @@ impl Store {
         bin_secs: i64,
         agg: Aggregate,
     ) -> Vec<Option<f64>> {
+        if bin_secs <= 0 || end <= start {
+            return Vec::new();
+        }
         let shard = self.shard(key).read().unwrap();
         match shard.get(key) {
             Some(s) => s.downsample_dense(start, end, bin_secs, agg),
             None => {
-                let nbins = ((end - start).max(0) + bin_secs - 1) / bin_secs;
+                let nbins = ((end - start) + bin_secs - 1) / bin_secs;
                 vec![None; nbins as usize]
             }
         }
@@ -204,11 +320,14 @@ impl Store {
         end: i64,
         bin_secs: i64,
     ) -> Vec<QualityFlags> {
+        if bin_secs <= 0 || end <= start {
+            return Vec::new();
+        }
         let shard = self.quality[Self::shard_index(key)].read().unwrap();
         match shard.get(key) {
             Some(l) => l.dense(start, end, bin_secs),
             None => {
-                let nbins = ((end - start).max(0) + bin_secs - 1) / bin_secs;
+                let nbins = ((end - start) + bin_secs - 1) / bin_secs;
                 vec![0; nbins as usize]
             }
         }
@@ -385,6 +504,87 @@ mod tests {
         let other = key("vp2", "L2", "far");
         assert_eq!(store.quality_dense(&other, 0, 900, 300), vec![0, 0, 0]);
         assert!(store.quality_windows(&other).is_empty());
+    }
+
+    #[test]
+    fn latest_tracks_newest_sample() {
+        let store = Store::new();
+        let k = key("vp1", "L1", "far");
+        assert_eq!(store.latest(&k), None, "missing series");
+        assert!(store.latest_handle(&k).is_none());
+        store.write(&k, 300, 10.0);
+        assert_eq!(store.latest(&k), Some(Point::new(300, 10.0)));
+        store.write(&k, 600, 12.5);
+        assert_eq!(store.latest(&k), Some(Point::new(600, 12.5)));
+        // Out-of-order write does not regress the latest sample.
+        store.write(&k, 0, 99.0);
+        assert_eq!(store.latest(&k), Some(Point::new(600, 12.5)));
+        // Equal timestamp: last write wins (matches Series duplicate order).
+        store.write(&k, 600, 13.0);
+        assert_eq!(store.latest(&k), Some(Point::new(600, 13.0)));
+        // Batch writes publish the newest of the batch.
+        store.write_batch(&k, &[Point::new(900, 1.0), Point::new(1200, 2.0), Point::new(700, 9.0)]);
+        assert_eq!(store.latest(&k), Some(Point::new(1200, 2.0)));
+        // A cached handle observes subsequent writes.
+        let h = store.latest_handle(&k).unwrap();
+        store.write(&k, 1500, 3.0);
+        assert_eq!(h.read(), Some(Point::new(1500, 3.0)));
+        // Retention does not clear the published latest sample.
+        store.retain_from(10_000);
+        assert_eq!(store.latest(&k), Some(Point::new(1500, 3.0)));
+    }
+
+    #[test]
+    fn latest_reads_race_free_under_concurrent_ingest() {
+        use std::sync::Arc;
+        let store = Arc::new(Store::new());
+        let k = key("vp1", "L1", "far");
+        store.write(&k, 0, 0.0);
+        let writer = {
+            let store = Arc::clone(&store);
+            let k = k.clone();
+            std::thread::spawn(move || {
+                for t in 1..20_000i64 {
+                    // Value encodes the timestamp so readers can check that
+                    // they never observe a torn (t, v) pair.
+                    store.write(&k, t, t as f64 * 0.5);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let k = k.clone();
+                std::thread::spawn(move || {
+                    let h = store.latest_handle(&k).unwrap();
+                    let mut last_t = -1;
+                    for _ in 0..50_000 {
+                        let p = h.read().expect("series already written");
+                        assert_eq!(p.v, p.t as f64 * 0.5, "torn read");
+                        assert!(p.t >= last_t, "latest went backwards");
+                        last_t = p.t;
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.latest(&k).unwrap().t, 19_999);
+    }
+
+    #[test]
+    fn store_windows_degrade_gracefully() {
+        let store = Store::new();
+        let k = key("vp1", "L1", "far");
+        store.write(&k, 0, 1.0);
+        assert!(store.query(&k, 500, 100).is_empty());
+        assert!(store.downsample(&k, 500, 100, 300, Aggregate::Min).is_empty());
+        assert!(store.downsample_dense(&k, 500, 100, 300, Aggregate::Min).is_empty());
+        assert!(store.downsample_dense(&k, 0, 600, 0, Aggregate::Min).is_empty());
+        assert!(store.quality_dense(&k, 500, 100, 300).is_empty());
+        assert!(store.quality_dense(&k, 0, 600, -1).is_empty());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Integration tests for the manic-serve HTTP API: real sockets against a
+//! server backed by a toy-world measurement run.
+//!
+//! One shared fixture builds the world, runs a few simulated hours of
+//! packet-mode probing (populating the tsdb and the audit trail), publishes
+//! a snapshot, and starts two servers: one with default limits and one with
+//! a deliberately tiny rate budget for the 429 path. The audit trail and
+//! metric registry are process globals, so everything hangs off a single
+//! `OnceLock` fixture rather than per-test worlds.
+
+use manic_core::{System, SystemConfig};
+use manic_netsim::time::{date_to_sim, Date};
+use manic_scenario::worlds::toy;
+use manic_serve::{ServeConfig, ServeState, Server, SnapshotHub};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    addr: SocketAddr,
+    strict_addr: SocketAddr,
+    hub: Arc<SnapshotHub>,
+    /// A far-end link IP known to the snapshot (and, in the toy world's
+    /// congested case, to the audit trail).
+    far: String,
+    _server: Server,
+    _strict: Server,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let mut sys = System::new(toy(42), SystemConfig::default());
+        let from = date_to_sim(Date::new(2017, 3, 1));
+        let to = from + 6 * 3600;
+        sys.run_packet_mode(from, to);
+        for vi in 0..sys.vps.len() {
+            sys.arm_reactive_loss(vi, from, to);
+        }
+        let hub = Arc::new(SnapshotHub::new());
+        hub.publish_from(&sys, to, 6 * 3600);
+
+        let store = Arc::clone(&sys.store);
+        let cfg = ServeConfig::default();
+        let state = Arc::new(ServeState::new(Arc::clone(&hub), Arc::clone(&store), &cfg));
+        let server = Server::start("127.0.0.1:0", state, &cfg).expect("bind");
+
+        let strict_cfg = ServeConfig { rate_limit_rps: 2, rate_limit_burst: 2, ..cfg };
+        let strict_state = Arc::new(ServeState::new(Arc::clone(&hub), store, &strict_cfg));
+        let strict = Server::start("127.0.0.1:0", strict_state, &strict_cfg).expect("bind strict");
+
+        let far = hub
+            .current()
+            .links
+            .first()
+            .map(|l| l.far_ip.to_string())
+            .expect("toy world links");
+        Fixture {
+            addr: server.local_addr(),
+            strict_addr: strict.local_addr(),
+            hub,
+            far,
+            _server: server,
+            _strict: strict,
+        }
+    })
+}
+
+/// One request over a fresh connection; returns (status, content-type, body).
+fn request(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head[9..12].parse().expect("status code");
+    let content_type = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-type:").map(str::trim).map(String::from))
+        .unwrap_or_default();
+    (status, content_type, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    request(addr, "GET", path)
+}
+
+fn get_json(path: &str) -> Value {
+    let (status, ct, body) = get(fixture().addr, path);
+    assert_eq!(status, 200, "GET {path}: {body}");
+    assert_eq!(ct, "application/json");
+    serde_json::from_str(&body).expect("valid JSON")
+}
+
+#[test]
+fn health_reports_every_task() {
+    let v = get_json("/api/health");
+    assert_eq!(v.get("epoch").and_then(Value::as_i64), Some(fixture().hub.epoch() as i64));
+    let tasks = v.get("tasks").and_then(Value::as_array).expect("tasks array");
+    assert!(!tasks.is_empty());
+    for task in tasks {
+        for field in ["vp", "near", "far", "state"] {
+            assert!(task.get(field).is_some(), "task missing {field}");
+        }
+        assert!(task.get("vp_active").and_then(Value::as_bool).is_some());
+    }
+}
+
+#[test]
+fn links_lists_borders_with_verdicts() {
+    let v = get_json("/api/links");
+    let links = v.get("links").and_then(Value::as_array).expect("links array");
+    assert!(!links.is_empty());
+    let mut saw_far = false;
+    for link in links {
+        for field in ["vp", "near", "far", "rel"] {
+            assert!(link.get(field).and_then(Value::as_str).is_some(), "missing {field}");
+        }
+        assert!(link.get("elevated").and_then(Value::as_bool).is_some());
+        // congested is a tri-state: true/false once the levelshift detector
+        // has spoken for this link, null before that.
+        let c = link.get("congested").expect("congested field");
+        assert!(c.as_bool().is_some() || matches!(c, Value::Null));
+        saw_far |= link.get("far").and_then(Value::as_str) == Some(fixture().far.as_str());
+    }
+    assert!(saw_far, "snapshot lists the fixture link");
+}
+
+#[test]
+fn timeseries_serves_real_points_in_both_formats() {
+    let far = &fixture().far;
+    let v = get_json(&format!("/api/link/{far}/timeseries?bin=300&agg=min"));
+    assert_eq!(v.get("link").and_then(Value::as_str), Some(far.as_str()));
+    assert_eq!(v.get("bin").and_then(Value::as_i64), Some(300));
+    assert_eq!(v.get("agg").and_then(Value::as_str), Some("min"));
+    let start = v.get("start").and_then(Value::as_i64).expect("start");
+    let end = v.get("end").and_then(Value::as_i64).expect("end");
+    let series = v.get("series").and_then(Value::as_array).expect("series");
+    assert!(!series.is_empty(), "tslp series exist for {far}");
+    let mut points = 0usize;
+    for s in series {
+        assert!(s.get("key").and_then(Value::as_str).unwrap_or("").contains(far.as_str()));
+        for p in s.get("points").and_then(Value::as_array).expect("points") {
+            let pair = p.as_array().expect("[t, v] pair");
+            let t = pair[0].as_i64().expect("t");
+            assert!((start..end).contains(&t), "point at {t} outside [{start},{end})");
+            assert!(pair[1].as_f64().expect("v").is_finite());
+            points += 1;
+        }
+    }
+    assert!(points > 10, "a 6h window holds many 5-minute rounds, got {points}");
+
+    let (status, ct, body) =
+        get(fixture().addr, &format!("/api/link/{far}/timeseries?bin=300&agg=min&format=csv"));
+    assert_eq!(status, 200);
+    assert_eq!(ct, "text/csv");
+    let mut lines = body.lines();
+    assert_eq!(lines.next(), Some("series,t,v"));
+    assert!(lines.clone().count() >= points, "CSV carries the same points");
+    // Series keys contain commas, so the series field is quoted; the last
+    // two fields are the numeric point.
+    assert!(lines.all(|l| {
+        let mut tail = l.rsplitn(3, ',');
+        let v_ok = tail.next().is_some_and(|v| v.parse::<f64>().is_ok());
+        let t_ok = tail.next().is_some_and(|t| t.parse::<i64>().is_ok());
+        let name_ok = tail.next().is_some_and(|n| n.starts_with('"') && n.ends_with('"'));
+        v_ok && t_ok && name_ok
+    }));
+}
+
+#[test]
+fn bad_requests_get_400s_not_panics() {
+    let addr = fixture().addr;
+    let far = &fixture().far;
+    for path in [
+        format!("/api/link/{far}/timeseries?bin=0"),
+        format!("/api/link/{far}/timeseries?bin=-5"),
+        format!("/api/link/{far}/timeseries?bin=banana"),
+        format!("/api/link/{far}/timeseries?agg=median"),
+        format!("/api/link/{far}/timeseries?window=0"),
+        format!("/api/link/{far}/timeseries?format=xml"),
+        format!("/api/link/{far}/timeseries?end=later"),
+    ] {
+        let (status, _, body) = get(addr, &path);
+        assert_eq!(status, 400, "GET {path} -> {body}");
+        let v: Value = serde_json::from_str(&body).expect("error envelope is JSON");
+        assert!(v.get("error").and_then(|e| e.get("message")).is_some());
+    }
+}
+
+#[test]
+fn unknown_resources_get_404s() {
+    let addr = fixture().addr;
+    for path in [
+        "/api/link/99.99.99.99/timeseries",
+        "/api/link/99.99.99.99/explain",
+        "/api/nope",
+        "/",
+    ] {
+        let (status, _, body) = get(addr, path);
+        assert_eq!(status, 404, "GET {path} -> {body}");
+    }
+    let (status, _, _) = request(addr, "POST", "/api/links");
+    assert_eq!(status, 405);
+}
+
+#[test]
+fn hostile_rates_hit_429() {
+    let addr = fixture().strict_addr;
+    let mut ok = 0;
+    let mut limited = 0;
+    for _ in 0..20 {
+        match get(addr, "/api/health").0 {
+            200 => ok += 1,
+            429 => limited += 1,
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(ok >= 1, "burst admits the first requests");
+    assert!(limited >= 10, "sustained abuse is rejected, got {limited} 429s");
+}
+
+#[test]
+fn explain_agrees_with_audit_trail() {
+    let _ = fixture();
+    // Pick a link the detector actually ruled on; the fixture link may be
+    // one of the clean borders.
+    let link = manic_obs::audit()
+        .links()
+        .into_iter()
+        .next()
+        .expect("6h of toy-world probing produces audit records");
+    let v = get_json(&format!("/api/link/{link}/explain"));
+    assert_eq!(v.get("link").and_then(Value::as_str), Some(link.as_str()));
+    let served = v.get("records").and_then(Value::as_array).expect("records");
+    let trail = manic_obs::audit().explain(&link);
+    assert_eq!(served.len(), trail.len(), "served record count == audit trail");
+    for (got, want) in served.iter().zip(&trail) {
+        assert_eq!(got.get("t").and_then(Value::as_i64), Some(want.t));
+        assert_eq!(got.get("vp").and_then(Value::as_str), Some(want.vp.as_str()));
+        assert_eq!(got.get("detector").and_then(Value::as_str), Some(want.detector));
+        assert_eq!(got.get("congested").and_then(Value::as_bool), Some(want.congested));
+        let ev = got.get("evidence").and_then(Value::as_array).expect("evidence");
+        assert_eq!(ev.len(), want.evidence.len());
+    }
+}
+
+#[test]
+fn metrics_endpoint_speaks_prometheus() {
+    let (status, ct, body) = get(fixture().addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(ct.starts_with("text/plain"));
+    for needle in [
+        "# TYPE manic_serve_requests counter",
+        "manic_serve_requests{endpoint=\"links\"}",
+        "manic_serve_open_connections",
+        "manic_core_round_duration_ms",
+    ] {
+        assert!(body.contains(needle), "/metrics missing {needle}");
+    }
+}
+
+#[test]
+fn snapshot_epoch_is_stable_across_reads() {
+    let before = fixture().hub.epoch();
+    for _ in 0..3 {
+        get_json("/api/links");
+    }
+    assert_eq!(fixture().hub.epoch(), before, "reads never republish snapshots");
+}
