@@ -12,7 +12,17 @@
 //! manic obs explain <far-ip> [--hours H]               # audit trail for one link
 //! manic obs links [--hours H]                          # links with audit records
 //! manic serve [--addr H:P] [--hours H] [--snapshot-interval S]  # HTTP API
+//! manic run [--hours H] [--data-dir D] [--durability P] [--resume]  # headless run
+//! manic recover <data-dir>                             # inspect a checkpoint
 //! ```
+//!
+//! `manic run` and `manic serve` accept `--data-dir <dir>` to persist every
+//! sample through the tsdb write-ahead log and checkpoint full system state
+//! every `--checkpoint-every` rounds (fsync cadence from `--durability
+//! always|every-<n>|never`). `--resume` restores the last checkpoint from
+//! the same directory and re-executes deterministically to catch up;
+//! `manic recover <dir>` reports what such a resume would restore without
+//! touching anything.
 //!
 //! Global flags: `--verbosity trace|debug|info|warn|error` controls both the
 //! journal floor and the stderr echo; `--quiet` silences the stderr echo
@@ -50,6 +60,7 @@ enum CliError {
     UnknownLevel(String),
     NoAuditRecords { link: String, known: Vec<String> },
     ServerStart { addr: String, reason: String },
+    Durability(String),
 }
 
 impl fmt::Display for CliError {
@@ -87,6 +98,7 @@ impl fmt::Display for CliError {
             CliError::ServerStart { addr, reason } => {
                 write!(f, "cannot serve on {addr}: {reason}")
             }
+            CliError::Durability(reason) => write!(f, "durability: {reason}"),
         }
     }
 }
@@ -117,6 +129,14 @@ struct Args {
     addr: String,
     /// `manic serve`: wall-clock seconds between snapshot publishes.
     snapshot_interval: u64,
+    /// `--data-dir <dir>`: persist WAL + checkpoints here (run/serve).
+    data_dir: Option<String>,
+    /// `--durability always|every-<n>|never`: WAL fsync policy.
+    durability: String,
+    /// `--checkpoint-every <rounds>`: rounds between checkpoints.
+    checkpoint_every: u64,
+    /// `--resume`: restore the last checkpoint from `--data-dir`.
+    resume: bool,
 }
 
 impl Args {
@@ -135,6 +155,10 @@ impl Args {
             filter: None,
             addr: "127.0.0.1:8379".into(),
             snapshot_interval: 2,
+            data_dir: None,
+            durability: "every-64".into(),
+            checkpoint_every: 12,
+            resume: false,
         };
         while let Some(flag) = argv.next() {
             let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
@@ -157,6 +181,12 @@ impl Args {
                 "--snapshot-interval" => {
                     args.snapshot_interval = num("--snapshot-interval", val()?)?
                 }
+                "--data-dir" => args.data_dir = Some(val()?),
+                "--durability" => args.durability = val()?,
+                "--checkpoint-every" => {
+                    args.checkpoint_every = num("--checkpoint-every", val()?)?
+                }
+                "--resume" => args.resume = true,
                 "--quiet" => args.quiet = true,
                 "--verbosity" => {
                     let v = val()?;
@@ -188,6 +218,18 @@ impl Args {
             return Err(CliError::InvalidValue {
                 flag: "--snapshot-interval",
                 reason: "must be at least 1 second".into(),
+            });
+        }
+        if manic_tsdb::FsyncPolicy::parse(&args.durability).is_none() {
+            return Err(CliError::InvalidValue {
+                flag: "--durability",
+                reason: format!("'{}' is not always|every-<n>|never", args.durability),
+            });
+        }
+        if args.checkpoint_every == 0 {
+            return Err(CliError::InvalidValue {
+                flag: "--checkpoint-every",
+                reason: "must be at least 1 round".into(),
             });
         }
         // A malformed listen address should fail argument parsing, not
@@ -242,7 +284,7 @@ fn main() -> ExitCode {
         Err(e) => {
             // ALLOW_PRINT: CLI usage text.
             eprintln!("error: {e}\n");
-            eprintln!("usage: manic <world|links|watch|study|export|inspect|obs> [flags]");
+            eprintln!("usage: manic <world|links|watch|study|export|inspect|obs|run|recover> [flags]");
             eprintln!("  manic world  [--world toy|us] [--seed N]");
             eprintln!("  manic links  --vp <name> [--world ..] [--seed N]");
             eprintln!("  manic watch  --vp <name> [--hours H] [--world ..]");
@@ -250,7 +292,11 @@ fn main() -> ExitCode {
             eprintln!("  manic export --vp <name> [--hours H] [--format json|csv]");
             eprintln!("  manic obs    <metrics|journal|explain <far-ip>|links> [--hours H]");
             eprintln!("  manic serve  [--addr HOST:PORT] [--hours H] [--snapshot-interval SECS]");
+            eprintln!("  manic run    [--hours H] [--data-dir DIR] [--durability P] [--resume]");
+            eprintln!("  manic recover <data-dir>");
             eprintln!("global flags: --verbosity trace|debug|info|warn|error, --quiet");
+            eprintln!("durability:   --data-dir DIR, --durability always|every-<n>|never,");
+            eprintln!("              --checkpoint-every ROUNDS, --resume");
             ExitCode::FAILURE
         }
     }
@@ -259,12 +305,21 @@ fn main() -> ExitCode {
 fn run(cmd: &str, args: Args) -> Result<(), CliError> {
     if !matches!(
         cmd,
-        "world" | "links" | "watch" | "study" | "export" | "inspect" | "obs" | "serve"
+        "world"
+            | "links"
+            | "watch"
+            | "study"
+            | "export"
+            | "inspect"
+            | "obs"
+            | "serve"
+            | "run"
+            | "recover"
     ) {
         return Err(CliError::UnknownCommand(cmd.to_string()));
     }
-    // Only `obs` takes positional arguments.
-    if cmd != "obs" {
+    // Only `obs` (subcommands) and `recover` (data dir) take positionals.
+    if cmd != "obs" && cmd != "recover" {
         if let Some(extra) = args.positional.first() {
             return Err(CliError::UnexpectedArg(extra.clone()));
         }
@@ -277,8 +332,167 @@ fn run(cmd: &str, args: Args) -> Result<(), CliError> {
         "export" => cmd_export(args),
         "inspect" => cmd_inspect(args),
         "serve" => cmd_serve(args),
+        "run" => cmd_run(args),
+        "recover" => cmd_recover(args),
         _ => cmd_obs(args),
     }
+}
+
+/// Build the core durability config from the parsed flags (already
+/// validated by [`Args::parse`]).
+fn durability_config(args: &Args) -> manic_core::DurabilityConfig {
+    manic_core::DurabilityConfig {
+        fsync: manic_tsdb::FsyncPolicy::parse(&args.durability)
+            .expect("validated at parse time"),
+        checkpoint_every_rounds: args.checkpoint_every,
+        ..manic_core::DurabilityConfig::default()
+    }
+}
+
+fn durability_err(e: std::io::Error) -> CliError {
+    CliError::Durability(e.to_string())
+}
+
+/// Shared epilogue of `manic run`: arm the level-shift detector over the
+/// executed window and print a machine-parseable summary. The same lines
+/// come out of a fresh, a durable, and a crashed-then-resumed run, so the
+/// crash-torture harness (and CI) can diff them directly.
+fn print_run_summary(sys: &mut System, world: &str, seed: u64, from: i64, to: i64) {
+    let mut congested: Vec<String> = Vec::new();
+    if to > from {
+        for vi in 0..sys.vps.len() {
+            sys.arm_reactive_loss(vi, from, to);
+            congested.extend(sys.vps[vi].loss.targets.iter().map(|t| t.far_ip.to_string()));
+        }
+    }
+    congested.sort();
+    congested.dedup();
+    println!(
+        "run complete: world '{world}' seed {seed} window {} .. {}",
+        format_sim(from),
+        format_sim(to)
+    );
+    println!(
+        "store: series={} points={} hash={:016x}",
+        sys.store.series_count(),
+        sys.store.point_count(),
+        sys.store.content_hash()
+    );
+    println!("verdicts: congested={}", if congested.is_empty() { "-".into() } else { congested.join(",") });
+}
+
+/// `manic run` — headless measurement run, optionally persisted. With
+/// `--data-dir` every sample goes through the WAL and full system state is
+/// checkpointed every `--checkpoint-every` rounds; SIGINT/SIGTERM drain
+/// flushes the WAL and writes a final checkpoint before exit. `--resume`
+/// restores the newest checkpoint from the same directory and re-executes
+/// deterministically to the original end of window.
+fn cmd_run(args: Args) -> Result<(), CliError> {
+    manic_serve::signal::install();
+    let stop = || manic_serve::signal::requested();
+    let from = t0();
+    let to = from + args.hours * 3600;
+
+    let Some(dir) = args.data_dir.clone() else {
+        // In-memory run: same summary lines, nothing persisted.
+        let mut sys = System::new(args.build_world()?, SystemConfig::default());
+        let mut t = from;
+        while t < to && !stop() {
+            let next = (t + manic_probing::tslp::ROUND_SECS).min(to);
+            sys.run_packet_mode(t, next);
+            t = next;
+        }
+        print_run_summary(&mut sys, &args.world, args.seed, from, t);
+        return Ok(());
+    };
+
+    let dir = std::path::PathBuf::from(dir);
+    let cfg = durability_config(&args);
+    let has_checkpoint = dir.join("checkpoint.json").is_file();
+    let (mut sys, mut d) = if args.resume && has_checkpoint {
+        let (sys, d, info) = manic_core::resume(&dir, Some(cfg)).map_err(durability_err)?;
+        println!(
+            "resumed: world '{}' seed {} rounds={} t={} recovered_in_ms={:.1} \
+             tail_discarded={} snapshot_records={} hash_ok={}",
+            info.world,
+            info.seed,
+            info.rounds,
+            format_sim(info.t),
+            info.recovery_ms,
+            info.tail_discarded,
+            info.snapshot_records,
+            info.store_hash_ok
+        );
+        (sys, d)
+    } else {
+        if args.resume {
+            // Crash before the first checkpoint landed (or a fresh dir):
+            // fall back to a fresh durable run so a supervisor can always
+            // restart with `--resume`.
+            println!("no checkpoint in {}; starting fresh", dir.display());
+        }
+        let sys = System::new(args.build_world()?, SystemConfig::default());
+        let d = manic_core::Durable::create(&sys, &args.world, args.seed, &dir, from, to, cfg)
+            .map_err(durability_err)?;
+        (sys, d)
+    };
+
+    let end = d.t_end();
+    d.run_window(&mut sys, end, &stop).map_err(durability_err)?;
+    let reached = d.resume_t();
+    d.finalize(&sys, reached).map_err(durability_err)?;
+    if reached < end {
+        println!(
+            "interrupted: checkpointed at round {} (t={}); rerun with --resume to continue",
+            d.rounds(),
+            format_sim(reached)
+        );
+    }
+    let (world_name, seed, start) = (d.world_name().to_string(), d.seed(), d.t_start());
+    print_run_summary(&mut sys, &world_name, seed, start, reached);
+    Ok(())
+}
+
+/// `manic recover <data-dir>` — read-only report of what a `--resume` from
+/// this directory would restore. Exits non-zero on a store-hash mismatch.
+fn cmd_recover(args: Args) -> Result<(), CliError> {
+    if args.positional.len() > 1 {
+        return Err(CliError::UnexpectedArg(args.positional[1].clone()));
+    }
+    let dir = args
+        .positional
+        .first()
+        .cloned()
+        .or_else(|| args.data_dir.clone())
+        .ok_or_else(|| CliError::MissingValue("recover <data-dir>".into()))?;
+    let rep = manic_core::recover_report(std::path::Path::new(&dir)).map_err(durability_err)?;
+    println!("recover report for {dir}:");
+    println!("  world '{}' seed {}", rep.world, rep.seed);
+    println!(
+        "  checkpoint: rounds={} t={} (window ends {})",
+        rep.rounds,
+        format_sim(rep.t),
+        format_sim(rep.t_end)
+    );
+    println!(
+        "  store: series={} points={} hash={:016x} ({})",
+        rep.series,
+        rep.points,
+        rep.store_hash,
+        if rep.store_hash_ok { "hash ok" } else { "HASH MISMATCH" }
+    );
+    println!("  snapshot records: {}", rep.snapshot_records);
+    println!(
+        "  wal tail: records={} torn={} decode_errors={} (tail is discarded and \
+         regenerated deterministically on resume)",
+        rep.tail_records, rep.tail_torn, rep.tail_decode_errors
+    );
+    if !rep.store_hash_ok {
+        return Err(CliError::Durability(
+            "restored store hash does not match the checkpoint".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// `manic serve` — run the measurement loop and the HTTP query API
@@ -300,11 +514,43 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
     const CHUNK_SECS: i64 = 1800;
 
     manic_serve::signal::install();
-    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let from = t0();
+    let to = from + args.hours * 3600;
+    // With --data-dir the sim thread runs through the durable layer: every
+    // sample hits the WAL and state checkpoints on cadence; the health
+    // endpoint exposes the persistence frontier.
+    let (mut sys, mut durable, status) = match &args.data_dir {
+        None => (System::new(args.build_world()?, SystemConfig::default()), None, None),
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            let cfg = durability_config(&args);
+            let status = Arc::new(manic_serve::DurabilityStatus::new(&args.durability));
+            if args.resume && dir.join("checkpoint.json").is_file() {
+                let (sys, d, info) =
+                    manic_core::resume(&dir, Some(cfg)).map_err(durability_err)?;
+                status.note_recovery(info.rounds, info.tail_discarded, info.recovery_ms);
+                println!(
+                    "resumed: world '{}' seed {} rounds={} tail_discarded={} \
+                     recovered_in_ms={:.1}",
+                    info.world, info.seed, info.rounds, info.tail_discarded, info.recovery_ms
+                );
+                (sys, Some(d), Some(status))
+            } else {
+                let sys = System::new(args.build_world()?, SystemConfig::default());
+                let d = manic_core::Durable::create(
+                    &sys, &args.world, args.seed, &dir, from, to, cfg,
+                )
+                .map_err(durability_err)?;
+                (sys, Some(d), Some(status))
+            }
+        }
+    };
     let hub = Arc::new(manic_serve::SnapshotHub::new());
     let store = Arc::clone(&sys.store);
     let serve_cfg = manic_serve::ServeConfig::default();
-    let state = Arc::new(manic_serve::ServeState::new(Arc::clone(&hub), store, &serve_cfg));
+    let mut state = manic_serve::ServeState::new(Arc::clone(&hub), store, &serve_cfg);
+    state.durability = status.clone();
+    let state = Arc::new(state);
     let server = manic_serve::Server::start(&args.addr, state, &serve_cfg).map_err(|e| {
         CliError::ServerStart { addr: args.addr.clone(), reason: e.to_string() }
     })?;
@@ -315,34 +561,65 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
         args.seed,
         args.hours
     );
+    if let Some(d) = &durable {
+        println!(
+            "durability: data dir {:?}, policy {}, checkpoint every {} rounds",
+            args.data_dir.as_deref().unwrap_or("?"),
+            d.config().fsync,
+            d.config().checkpoint_every_rounds
+        );
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let sim_stop = Arc::clone(&stop);
     let sim_hub = Arc::clone(&hub);
     let interval = Duration::from_secs(args.snapshot_interval);
-    let hours = args.hours;
     let sim = std::thread::Builder::new()
         .name("serve-sim".into())
         .spawn(move || {
-            let from = t0();
-            let end = from + hours * 3600;
-            let mut t = from;
-            let mut armed_to = from;
+            // A resumed world continues mid-window; fresh worlds start at
+            // the window's beginning either way.
+            let (from, end, mut t) = match &durable {
+                Some(d) => (d.t_start(), d.t_end(), d.resume_t()),
+                None => (from, to, from),
+            };
+            let mut armed_to = t;
             let mut last_pub: Option<Instant> = None;
-            while !sim_stop.load(Ordering::Acquire) {
+            let halted = || sim_stop.load(Ordering::Acquire);
+            while !halted() {
                 if t < end {
                     let next = (t + CHUNK_SECS).min(end);
-                    sys.run_packet_mode(t, next);
-                    t = next;
+                    match &mut durable {
+                        Some(d) => {
+                            if let Err(e) = d.run_window(&mut sys, next, &halted) {
+                                manic_obs::event!(
+                                    manic_obs::WARN, "cli", "durability_error", t,
+                                    error = e.to_string(),
+                                );
+                            }
+                            t = d.resume_t();
+                            if let Some(st) = &status {
+                                st.note_progress(d.rounds());
+                                let (cr, ct) = d.last_checkpoint();
+                                st.note_checkpoint(cr, ct);
+                            }
+                        }
+                        None => {
+                            sys.run_packet_mode(t, next);
+                            t = next;
+                        }
+                    }
                 }
                 let due = last_pub.map(|p| p.elapsed() >= interval).unwrap_or(true);
-                if due && t > armed_to {
-                    // Reactive level-shift detection feeds the audit trail
-                    // the /api/links verdicts come from.
-                    for vi in 0..sys.vps.len() {
-                        sys.arm_reactive_loss(vi, armed_to, t);
+                if due && (t > armed_to || last_pub.is_none()) {
+                    if t > armed_to {
+                        // Reactive level-shift detection feeds the audit
+                        // trail the /api/links verdicts come from.
+                        for vi in 0..sys.vps.len() {
+                            sys.arm_reactive_loss(vi, armed_to, t);
+                        }
+                        armed_to = t;
                     }
-                    armed_to = t;
                     sim_hub.publish_from(&sys, t, LOOKBACK_SECS.min(t - from).max(1));
                     last_pub = Some(Instant::now());
                 }
@@ -352,13 +629,24 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
                     std::thread::sleep(Duration::from_millis(50));
                 }
             }
+            // Drain: flush the WAL and leave a final checkpoint so the next
+            // `--resume` restarts exactly here.
+            if let Some(mut d) = durable {
+                let reached = d.resume_t();
+                if let Err(e) = d.finalize(&sys, reached) {
+                    manic_obs::event!(
+                        manic_obs::WARN, "cli", "finalize_error", reached,
+                        error = e.to_string(),
+                    );
+                }
+            }
         })
         .expect("spawn sim thread");
 
     while !manic_serve::signal::requested() {
         std::thread::sleep(Duration::from_millis(100));
     }
-    println!("shutting down: draining in-flight requests...");
+    println!("shutting down: draining in-flight requests and flushing state...");
     stop.store(true, Ordering::Release);
     let _ = sim.join();
     server.shutdown();
@@ -719,6 +1007,39 @@ mod tests {
             parse(&["serve", "--addr", "localhost"]),
             Err(CliError::InvalidValue { flag: "--addr", .. })
         ));
+    }
+
+    #[test]
+    fn durability_flags_validated() {
+        use super::CliError;
+        let (cmd, a) = parse(&[
+            "run", "--data-dir", "/tmp/x", "--durability", "always", "--checkpoint-every", "6",
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(cmd, "run");
+        assert_eq!(a.data_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(a.durability, "always");
+        assert_eq!(a.checkpoint_every, 6);
+        assert!(a.resume);
+        let (_, d) = parse(&["run"]).unwrap();
+        assert_eq!(d.durability, "every-64");
+        assert_eq!(d.checkpoint_every, 12);
+        assert!(!d.resume);
+        assert!(matches!(
+            parse(&["run", "--durability", "sometimes"]),
+            Err(CliError::InvalidValue { flag: "--durability", .. })
+        ));
+        assert!(matches!(
+            parse(&["run", "--checkpoint-every", "0"]),
+            Err(CliError::InvalidValue { flag: "--checkpoint-every", .. })
+        ));
+        // `recover` takes its data dir positionally; `run` rejects strays.
+        let (cmd, a) = parse(&["recover", "/tmp/x"]).unwrap();
+        assert_eq!(cmd, "recover");
+        assert_eq!(a.positional, vec!["/tmp/x".to_string()]);
+        let (cmd, a) = parse(&["run", "stray"]).unwrap();
+        assert!(matches!(super::run(&cmd, a), Err(CliError::UnexpectedArg(_))));
     }
 
     #[test]

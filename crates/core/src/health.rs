@@ -52,6 +52,17 @@ impl HealthState {
             HealthState::Retired => "retired",
         }
     }
+
+    /// Inverse of [`Self::as_str`] (checkpoint deserialization).
+    pub fn parse(s: &str) -> Option<HealthState> {
+        match s {
+            "healthy" => Some(HealthState::Healthy),
+            "degraded" => Some(HealthState::Degraded),
+            "quarantined" => Some(HealthState::Quarantined),
+            "retired" => Some(HealthState::Retired),
+            _ => None,
+        }
+    }
 }
 
 /// Thresholds and backoff shape of the health machine.
@@ -183,6 +194,26 @@ impl TaskHealth {
         }
     }
 
+    /// Checkpoint serialization: every field of the machine, in declaration
+    /// order — `(state, misses, oks, backoff_until, backoff_secs,
+    /// quarantines)`.
+    pub fn to_parts(&self) -> (HealthState, u32, u32, SimTime, i64, u32) {
+        (self.state, self.misses, self.oks, self.backoff_until, self.backoff_secs, self.quarantines)
+    }
+
+    /// Rebuild from [`Self::to_parts`] output; a resumed machine continues
+    /// exactly where the checkpointed one stopped.
+    pub fn from_parts(
+        state: HealthState,
+        misses: u32,
+        oks: u32,
+        backoff_until: SimTime,
+        backoff_secs: i64,
+        quarantines: u32,
+    ) -> TaskHealth {
+        TaskHealth { state, misses, oks, backoff_until, backoff_secs, quarantines }
+    }
+
     fn enter_quarantine(&mut self, t: SimTime, cfg: &HealthConfig, seed: u64, stream: u64) {
         self.quarantines += 1;
         if self.quarantines > cfg.max_quarantines {
@@ -236,6 +267,17 @@ impl CycleBackoff {
         let shift = (self.failures - 1).min(16);
         let delay = self.base_secs.saturating_mul(1 << shift).min(self.max_secs);
         self.next_attempt = t + delay;
+    }
+
+    /// Checkpoint serialization: `(failures, next_attempt, base_secs,
+    /// max_secs)`.
+    pub fn to_parts(&self) -> (u32, SimTime, i64, i64) {
+        (self.failures, self.next_attempt, self.base_secs, self.max_secs)
+    }
+
+    /// Rebuild from [`Self::to_parts`] output.
+    pub fn from_parts(failures: u32, next_attempt: SimTime, base_secs: i64, max_secs: i64) -> Self {
+        CycleBackoff { failures, next_attempt, base_secs, max_secs }
     }
 }
 

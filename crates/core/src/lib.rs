@@ -17,11 +17,13 @@
 //!   (see `manic_probing::path`), which is what makes the 22-month §6
 //!   studies tractable.
 
+pub mod checkpoint;
 pub mod health;
 pub mod longitudinal;
 pub(crate) mod obs;
 pub mod system;
 
+pub use checkpoint::{recover_report, resume, Durable, DurabilityConfig, RecoverReport, ResumeInfo};
 pub use health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};
 pub use longitudinal::{run_longitudinal, run_longitudinal_detailed, LinkDays, LongitudinalConfig, LongitudinalOutput, VpLinkDays};
 pub use system::{LinkStatus, System, SystemConfig, TaskHealthStatus, VpRuntime};

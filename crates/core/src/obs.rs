@@ -39,6 +39,15 @@ pub(crate) struct Metrics {
     /// load tests watch this to prove query traffic does not slow the
     /// measurement loop.
     pub round_duration: Histogram,
+    /// Checkpoints written / bytes persisted per checkpoint (snapshot +
+    /// metadata) / WAL segments garbage-collected as acknowledged.
+    pub checkpoint_writes: Counter,
+    pub checkpoint_bytes: Counter,
+    pub checkpoint_wal_gc_segments: Counter,
+    pub checkpoint_write_ms: Histogram,
+    /// Successful resumes from a checkpoint, and how long recovery took.
+    pub recoveries: Counter,
+    pub recovery_ms: Histogram,
 }
 
 impl Metrics {
@@ -75,6 +84,12 @@ pub(crate) fn metrics() -> &'static Metrics {
             verdicts_congested: r.counter("manic_core_verdicts_congested"),
             verdicts_clean: r.counter("manic_core_verdicts_clean"),
             round_duration: r.histogram("manic_core_round_duration_ms"),
+            checkpoint_writes: r.counter("manic_core_checkpoint_writes"),
+            checkpoint_bytes: r.counter("manic_core_checkpoint_bytes"),
+            checkpoint_wal_gc_segments: r.counter("manic_core_checkpoint_wal_gc_segments"),
+            checkpoint_write_ms: r.histogram("manic_core_checkpoint_write_ms"),
+            recoveries: r.counter("manic_core_checkpoint_recoveries"),
+            recovery_ms: r.histogram("manic_core_checkpoint_recovery_ms"),
         }
     })
 }

@@ -110,6 +110,36 @@ impl SimState {
         self.counter += 1;
         self.counter
     }
+
+    /// Checkpoint serialization: the draw counter plus every limiter bucket
+    /// as `(router, tokens_bits, last)`, sorted by router for determinism.
+    /// Token levels travel as `f64::to_bits` so the round trip is exact.
+    pub fn export(&self) -> (u64, Vec<(u32, u64, i64)>) {
+        let mut limiters: Vec<(u32, u64, i64)> = self
+            .limiters
+            .iter()
+            .map(|(r, l)| {
+                let (tokens, last) = l.to_parts();
+                (r.0, tokens.to_bits(), last)
+            })
+            .collect();
+        limiters.sort();
+        (self.counter, limiters)
+    }
+
+    /// Rebuild from [`Self::export`] output. A resumed driver continues the
+    /// exact noise-draw and rate-limit sequence of the checkpointed one.
+    pub fn import(counter: u64, limiters: &[(u32, u64, i64)]) -> SimState {
+        SimState {
+            counter,
+            limiters: limiters
+                .iter()
+                .map(|&(r, bits, last)| {
+                    (RouterId(r), RateLimiter::from_parts(f64::from_bits(bits), last))
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The simulated network: an immutable topology plus time-versioned routing.

@@ -105,6 +105,16 @@ impl RateLimiter {
         RateLimiter { tokens: burst, last: at }
     }
 
+    /// Checkpoint serialization: `(tokens, last)`.
+    pub fn to_parts(&self) -> (f64, SimTime) {
+        (self.tokens, self.last)
+    }
+
+    /// Rebuild from [`Self::to_parts`] output.
+    pub fn from_parts(tokens: f64, last: SimTime) -> Self {
+        RateLimiter { tokens, last }
+    }
+
     /// Try to emit one ICMP response at time `t`; true = allowed.
     pub fn allow(&mut self, pps: f64, burst: f64, t: SimTime) -> bool {
         if t > self.last {

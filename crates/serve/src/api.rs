@@ -39,10 +39,24 @@ fn route(state: &ServeState, req: &Request) -> Response {
         }
         "/api/health" => {
             let snap = state.hub.current();
-            Response {
-                status: 200,
-                content_type: "application/json",
-                body: snap.health_json.clone(),
+            match &state.durability {
+                None => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: snap.health_json.clone(),
+                },
+                Some(d) => {
+                    // Splice the durability frontier into the pre-rendered
+                    // snapshot: pop the trailing `}` and append a field.
+                    let mut body = snap.health_json.as_ref().clone();
+                    if body.last() == Some(&b'}') {
+                        body.pop();
+                        body.extend_from_slice(b",\"durability\":");
+                        body.extend_from_slice(d.to_json().as_bytes());
+                        body.push(b'}');
+                    }
+                    Response::new(200, "application/json", body)
+                }
             }
         }
         "/metrics" => Response::new(

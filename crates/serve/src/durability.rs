@@ -1,0 +1,120 @@
+//! Durability/recovery status for `/api/health`.
+//!
+//! When the serve process runs with a `--data-dir`, operators need to see
+//! the persistence layer's frontier without shelling into the host: which
+//! fsync policy is in force, whether this process resumed from a
+//! checkpoint (and how much WAL tail it discarded), where the last
+//! checkpoint sits, and how many rounds of work would be re-executed if
+//! the process died right now (`lag_rounds`). The measurement loop updates
+//! the shared handle with plain atomics; the render is a small JSON object
+//! spliced into the pre-rendered health snapshot.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// Shared durability frontier, written by the measurement loop and read by
+/// the health endpoint.
+#[derive(Debug)]
+pub struct DurabilityStatus {
+    /// Fsync policy string (`always` / `every-<n>` / `never`); fixed for
+    /// the process lifetime.
+    policy: String,
+    /// This process restored its state from a checkpoint.
+    resumed: AtomicBool,
+    /// Rounds restored by the resume (0 when fresh).
+    recovered_rounds: AtomicU64,
+    /// Intact post-checkpoint WAL records discarded on resume.
+    tail_discarded: AtomicU64,
+    /// Wall-clock recovery time, ms (f64 bits).
+    recovery_ms_bits: AtomicU64,
+    /// Last checkpoint: round counter and sim time.
+    checkpoint_rounds: AtomicU64,
+    checkpoint_t: AtomicI64,
+    /// Rounds executed so far (checkpointed or not).
+    rounds: AtomicU64,
+}
+
+impl DurabilityStatus {
+    pub fn new(policy: &str) -> Self {
+        DurabilityStatus {
+            policy: policy.to_string(),
+            resumed: AtomicBool::new(false),
+            recovered_rounds: AtomicU64::new(0),
+            tail_discarded: AtomicU64::new(0),
+            recovery_ms_bits: AtomicU64::new(0f64.to_bits()),
+            checkpoint_rounds: AtomicU64::new(0),
+            checkpoint_t: AtomicI64::new(0),
+            rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// Record that this process resumed from a checkpoint.
+    pub fn note_recovery(&self, rounds: u64, tail_discarded: u64, recovery_ms: f64) {
+        self.resumed.store(true, Ordering::Relaxed);
+        self.recovered_rounds.store(rounds, Ordering::Relaxed);
+        self.tail_discarded.store(tail_discarded, Ordering::Relaxed);
+        self.recovery_ms_bits.store(recovery_ms.to_bits(), Ordering::Relaxed);
+        self.rounds.store(rounds, Ordering::Relaxed);
+        self.checkpoint_rounds.store(rounds, Ordering::Relaxed);
+    }
+
+    /// A checkpoint was written at round `rounds`, sim time `t`.
+    pub fn note_checkpoint(&self, rounds: u64, t: i64) {
+        self.checkpoint_rounds.store(rounds, Ordering::Relaxed);
+        self.checkpoint_t.store(t, Ordering::Relaxed);
+        self.rounds.fetch_max(rounds, Ordering::Relaxed);
+    }
+
+    /// Round `rounds` finished executing (checkpointed or not).
+    pub fn note_progress(&self, rounds: u64) {
+        self.rounds.fetch_max(rounds, Ordering::Relaxed);
+    }
+
+    /// Rounds of work a crash right now would have to re-execute.
+    pub fn lag_rounds(&self) -> u64 {
+        self.rounds
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.checkpoint_rounds.load(Ordering::Relaxed))
+    }
+
+    /// Render as a JSON object (the `durability` field of `/api/health`).
+    pub fn to_json(&self) -> String {
+        let recovery_ms = f64::from_bits(self.recovery_ms_bits.load(Ordering::Relaxed));
+        format!(
+            "{{\"enabled\":true,\"policy\":\"{}\",\"resumed\":{},\
+             \"recovered_rounds\":{},\"tail_discarded\":{},\"recovery_ms\":{:.3},\
+             \"checkpoint_rounds\":{},\"checkpoint_t\":{},\"rounds\":{},\"lag_rounds\":{}}}",
+            manic_obs::json_escape(&self.policy),
+            self.resumed.load(Ordering::Relaxed),
+            self.recovered_rounds.load(Ordering::Relaxed),
+            self.tail_discarded.load(Ordering::Relaxed),
+            recovery_ms,
+            self.checkpoint_rounds.load(Ordering::Relaxed),
+            self.checkpoint_t.load(Ordering::Relaxed),
+            self.rounds.load(Ordering::Relaxed),
+            self.lag_rounds(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reflects_lifecycle() {
+        let d = DurabilityStatus::new("every-64");
+        assert!(d.to_json().contains("\"resumed\":false"));
+        assert_eq!(d.lag_rounds(), 0);
+        d.note_recovery(20, 3, 12.5);
+        d.note_progress(25);
+        assert_eq!(d.lag_rounds(), 5);
+        let j = d.to_json();
+        assert!(j.contains("\"resumed\":true"), "{j}");
+        assert!(j.contains("\"recovered_rounds\":20"), "{j}");
+        assert!(j.contains("\"tail_discarded\":3"), "{j}");
+        assert!(j.contains("\"lag_rounds\":5"), "{j}");
+        d.note_checkpoint(25, 7500);
+        assert_eq!(d.lag_rounds(), 0);
+        assert!(d.to_json().contains("\"checkpoint_t\":7500"));
+    }
+}

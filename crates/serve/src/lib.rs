@@ -31,6 +31,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod durability;
 pub mod http;
 pub(crate) mod obs;
 pub mod ratelimit;
@@ -39,6 +40,7 @@ pub mod signal;
 pub mod snapshot;
 
 pub use cache::{CachedResponse, ResponseCache};
+pub use durability::DurabilityStatus;
 pub use http::{Request, Response};
 pub use ratelimit::RateLimiter;
 pub use server::{Server, ServeConfig, ServeState};

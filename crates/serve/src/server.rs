@@ -54,6 +54,9 @@ pub struct ServeState {
     pub store: Arc<manic_tsdb::Store>,
     pub cache: ResponseCache,
     pub limiter: RateLimiter,
+    /// Durability frontier when the process runs with a data dir; `None`
+    /// keeps `/api/health` byte-identical to an in-memory deployment.
+    pub durability: Option<Arc<crate::durability::DurabilityStatus>>,
 }
 
 impl ServeState {
@@ -63,6 +66,7 @@ impl ServeState {
             store,
             cache: ResponseCache::new(cfg.cache_capacity),
             limiter: RateLimiter::new(cfg.rate_limit_rps, cfg.rate_limit_burst),
+            durability: None,
         }
     }
 }

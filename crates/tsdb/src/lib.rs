@@ -19,12 +19,16 @@
 
 pub mod key;
 pub mod lineproto;
+mod obs;
 pub mod quality;
+pub mod segment;
 pub mod series;
 pub mod store;
+pub mod wal;
 
 pub use key::{SeriesKey, TagSet};
-pub use lineproto::{format_line, parse_line, LineProtoError};
+pub use lineproto::{format_key, format_line, parse_key, parse_line, LineProtoError};
 pub use quality::{QualityFlags, QualityLog};
 pub use series::{Aggregate, Point, Series};
 pub use store::{LatestCell, LatestHandle, Store, TagFilter};
+pub use wal::{FsyncPolicy, ReplayReport, Wal, WalCodecError, WalPosition, WalRecord};

@@ -68,6 +68,24 @@ impl QualityLog {
         &self.windows
     }
 
+    /// Drop windows entirely before `cutoff` and clamp straddling windows
+    /// to start at `cutoff`, mirroring `Series::trim_before` so retention
+    /// never leaves flags for data that no longer exists. Returns the
+    /// number of windows removed outright.
+    pub fn trim_before(&mut self, cutoff: i64) -> usize {
+        let before = self.windows.len();
+        self.windows.retain_mut(|w| {
+            if w.1 <= cutoff {
+                return false;
+            }
+            if w.0 < cutoff {
+                w.0 = cutoff;
+            }
+            true
+        });
+        before - self.windows.len()
+    }
+
     /// OR of all flags overlapping `[start, end)`.
     pub fn flags_over(&self, start: i64, end: i64) -> QualityFlags {
         self.windows
@@ -139,6 +157,20 @@ mod tests {
         assert_eq!(dense2[0], SUSPECT_RATE_LIMITED, "300..450 overlap");
         assert_eq!(dense2[1], SUSPECT_RATE_LIMITED, "450..600 overlap");
         assert_eq!(dense2[2], RENUMBERED);
+    }
+
+    #[test]
+    fn trim_before_drops_and_clamps() {
+        let mut log = QualityLog::default();
+        log.annotate(0, 300, GAP);
+        log.annotate(300, 900, QUARANTINED);
+        log.annotate(900, 1200, RENUMBERED);
+        assert_eq!(log.trim_before(600), 1, "fully-old window dropped");
+        assert_eq!(log.windows(), &[(600, 900, QUARANTINED), (900, 1200, RENUMBERED)]);
+        assert_eq!(log.flags_over(0, 600), 0, "nothing before the cutoff");
+        assert_eq!(log.flags_over(0, 601), QUARANTINED, "clamped window starts at cutoff");
+        assert_eq!(log.trim_before(5000), 2);
+        assert!(log.windows().is_empty());
     }
 
     #[test]

@@ -51,11 +51,17 @@ impl Aggregate {
 #[derive(Debug, Clone, Default)]
 pub struct Series {
     points: Vec<Point>,
+    /// Id of this series' escaped key token in the attached WAL's registry,
+    /// filled lazily on the first WAL append. Caching it here (where the
+    /// write path already holds the shard lock) keeps journaled writes from
+    /// re-escaping the key for every sample. Ids are scoped to the WAL the
+    /// store was attached to; stores are never re-attached to a second WAL.
+    pub(crate) wal_key_token: std::sync::OnceLock<u32>,
 }
 
 impl Series {
     pub fn new() -> Self {
-        Series { points: Vec::new() }
+        Series::default()
     }
 
     pub fn len(&self) -> usize {

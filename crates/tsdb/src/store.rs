@@ -3,11 +3,12 @@
 use crate::key::{SeriesKey, TagSet};
 use crate::quality::{QualityFlags, QualityLog};
 use crate::series::{Aggregate, Point, Series};
+use crate::wal::{Wal, WalRecord};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 const SHARDS: usize = 16;
 
@@ -105,6 +106,9 @@ pub struct Store {
     /// taken to locate a cell; the cell itself is a seqlock (see
     /// [`LatestCell`]), so `latest()` readers never contend with ingest.
     latest: Vec<RwLock<HashMap<SeriesKey, LatestHandle>>>,
+    /// Optional write-ahead log; when attached, every mutation is appended
+    /// to it before being applied in memory.
+    wal: OnceLock<Arc<Wal>>,
 }
 
 impl Default for Store {
@@ -119,7 +123,20 @@ impl Store {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             quality: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             latest: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            wal: OnceLock::new(),
         }
+    }
+
+    /// Attach a write-ahead log; from here on every mutation is journaled
+    /// before being applied. Attach *after* any replay into this store, or
+    /// the replayed records would be logged again. The first attach wins.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        let _ = self.wal.set(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.get()
     }
 
     fn shard_index(key: &SeriesKey) -> usize {
@@ -146,7 +163,14 @@ impl Store {
     /// Append one point to a series, creating the series if needed.
     pub fn write(&self, key: &SeriesKey, t: i64, v: f64) {
         let mut shard = self.shard(key).write().unwrap();
-        shard.entry(key.clone()).or_default().push(t, v);
+        let series = shard.entry(key.clone()).or_default();
+        // Logged before applied; holding the shard lock across the enqueue
+        // keeps WAL order identical to apply order within a series.
+        if let Some(wal) = self.wal.get() {
+            wal.append_sample(key, &series.wal_key_token, Point::new(t, v));
+        }
+        series.push(t, v);
+        drop(shard);
         let cell = self.latest_cell(key);
         if t >= cell.writer_t() {
             cell.publish(t, v);
@@ -160,6 +184,11 @@ impl Store {
         }
         let mut shard = self.shard(key).write().unwrap();
         let series = shard.entry(key.clone()).or_default();
+        if let Some(wal) = self.wal.get() {
+            for p in points {
+                wal.append_sample(key, &series.wal_key_token, *p);
+            }
+        }
         let mut newest: Option<Point> = None;
         for p in points {
             series.push(p.t, p.v);
@@ -301,6 +330,9 @@ impl Store {
     /// independent of points: a series can be annotated before (or without)
     /// ever receiving data — a quarantined task writes gaps, not points.
     pub fn annotate(&self, key: &SeriesKey, from: i64, to: i64, flags: QualityFlags) {
+        if let Some(wal) = self.wal.get() {
+            wal.append(WalRecord::Annotate { key: key.clone(), from, to, flags });
+        }
         let mut shard = self.quality[Self::shard_index(key)].write().unwrap();
         shard.entry(key.clone()).or_default().annotate(from, to, flags);
     }
@@ -333,9 +365,13 @@ impl Store {
         }
     }
 
-    /// Apply a retention policy: drop all points older than `cutoff`.
-    /// Returns the number of points removed.
+    /// Apply a retention policy: drop all points older than `cutoff`, and
+    /// trim quality-flag windows to the retained range so flags never
+    /// outlive the data they annotate. Returns the number of points removed.
     pub fn retain_from(&self, cutoff: i64) -> usize {
+        if let Some(wal) = self.wal.get() {
+            wal.append(WalRecord::Retain { cutoff });
+        }
         let mut removed = 0;
         for shard in &self.shards {
             let mut shard = shard.write().unwrap();
@@ -344,7 +380,89 @@ impl Store {
             }
             shard.retain(|_, s| !s.is_empty());
         }
+        for shard in &self.quality {
+            let mut shard = shard.write().unwrap();
+            for log in shard.values_mut() {
+                log.trim_before(cutoff);
+            }
+            shard.retain(|_, l| !l.windows().is_empty());
+        }
         removed
+    }
+
+    /// Apply one replayed WAL record. Recovery-only: the store being
+    /// rebuilt must not have a WAL attached, or the record would be
+    /// journaled a second time.
+    pub fn apply_record(&self, rec: &WalRecord) {
+        debug_assert!(self.wal.get().is_none(), "replaying into a journaled store");
+        match rec {
+            WalRecord::Sample { key, point } => self.write(key, point.t, point.v),
+            WalRecord::Annotate { key, from, to, flags } => self.annotate(key, *from, *to, *flags),
+            WalRecord::Retain { cutoff } => {
+                self.retain_from(*cutoff);
+            }
+        }
+    }
+
+    /// Every mutation needed to rebuild the store's current contents, in a
+    /// deterministic (sorted) order: the checkpoint snapshot. Replaying the
+    /// result into an empty store reproduces points and quality windows
+    /// exactly.
+    pub fn dump_records(&self) -> Vec<WalRecord> {
+        let mut keys: Vec<SeriesKey> = Vec::new();
+        for shard in &self.shards {
+            keys.extend(shard.read().unwrap().keys().cloned());
+        }
+        for shard in &self.quality {
+            let shard = shard.read().unwrap();
+            keys.extend(shard.keys().cloned());
+        }
+        keys.sort();
+        keys.dedup();
+        let mut out = Vec::new();
+        for key in keys {
+            for p in self.shard(&key).read().unwrap().get(&key).map(|s| s.all().to_vec()).unwrap_or_default() {
+                out.push(WalRecord::Sample { key: key.clone(), point: p });
+            }
+            for (from, to, flags) in self.quality_windows(&key) {
+                out.push(WalRecord::Annotate { key: key.clone(), from, to, flags });
+            }
+        }
+        out
+    }
+
+    /// Order-independent digest of the full store contents (points and
+    /// quality windows; the derived latest-cells are excluded). Two stores
+    /// with identical series data hash identically — the crash-recovery
+    /// equivalence checks compare these.
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a over a canonical byte stream of the sorted dump.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for rec in self.dump_records() {
+            match rec {
+                WalRecord::Sample { key, point } => {
+                    eat(b"S");
+                    eat(key.to_string().as_bytes());
+                    eat(&point.t.to_le_bytes());
+                    eat(&point.v.to_bits().to_le_bytes());
+                }
+                WalRecord::Annotate { key, from, to, flags } => {
+                    eat(b"A");
+                    eat(key.to_string().as_bytes());
+                    eat(&from.to_le_bytes());
+                    eat(&to.to_le_bytes());
+                    eat(&[flags]);
+                }
+                WalRecord::Retain { .. } => unreachable!("dump never emits retention records"),
+            }
+        }
+        h
     }
 
     /// Export one series as CSV (`t,v` rows with a header).
@@ -428,6 +546,63 @@ mod tests {
         assert_eq!(store.point_count(), 5);
         assert_eq!(store.retain_from(10_000), 5);
         assert_eq!(store.series_count(), 0);
+    }
+
+    #[test]
+    fn retention_trims_quality_windows_too() {
+        use crate::quality;
+        let store = Store::new();
+        let k = key("vp1", "L1", "far");
+        store.write(&k, 1000, 1.0);
+        store.annotate(&k, 0, 300, quality::GAP);
+        store.annotate(&k, 300, 900, quality::QUARANTINED);
+        let only_flags = key("vp2", "L2", "far");
+        store.annotate(&only_flags, 0, 500, quality::GAP);
+        store.retain_from(600);
+        assert_eq!(
+            store.quality_windows(&k),
+            vec![(600, 900, quality::QUARANTINED)],
+            "old windows dropped, straddlers clamped"
+        );
+        assert!(store.quality_windows(&only_flags).is_empty(), "flag-only logs pruned");
+        assert_eq!(store.query(&k, 0, 2000).len(), 1, "points past cutoff kept");
+    }
+
+    #[test]
+    fn content_hash_tracks_contents_not_history() {
+        use crate::quality;
+        let a = Store::new();
+        let b = Store::new();
+        // Same contents via different write orders and batching.
+        a.write(&key("vp1", "L1", "far"), 0, 1.0);
+        a.write(&key("vp1", "L1", "far"), 300, 2.0);
+        a.write(&key("vp2", "L2", "far"), 0, 3.0);
+        b.write(&key("vp2", "L2", "far"), 0, 3.0);
+        b.write_batch(&key("vp1", "L1", "far"), &[Point::new(0, 1.0), Point::new(300, 2.0)]);
+        assert_eq!(a.content_hash(), b.content_hash());
+        a.annotate(&key("vp1", "L1", "far"), 0, 300, quality::GAP);
+        assert_ne!(a.content_hash(), b.content_hash(), "quality windows are hashed");
+        b.annotate(&key("vp1", "L1", "far"), 0, 300, quality::GAP);
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.write(&key("vp1", "L1", "far"), 300, 2.5);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn dump_records_rebuild_equal_store() {
+        use crate::quality;
+        let store = Store::new();
+        for t in 0..10 {
+            store.write(&key("vp1", "L1", "far"), t * 300, t as f64);
+        }
+        store.annotate(&key("vp1", "L1", "near"), 0, 900, quality::SUSPECT_RATE_LIMITED);
+        let rebuilt = Store::new();
+        for rec in store.dump_records() {
+            rebuilt.apply_record(&rec);
+        }
+        assert_eq!(rebuilt.content_hash(), store.content_hash());
+        assert_eq!(rebuilt.point_count(), store.point_count());
+        assert_eq!(rebuilt.quality_windows(&key("vp1", "L1", "near")).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,1003 @@
+//! Write-ahead log for the store.
+//!
+//! Every mutation of an attached [`Store`] — sample writes, quality
+//! annotations, retention cutoffs — is appended to a segment file *before*
+//! it is applied in memory, so a crashed process can rebuild the store by
+//! replay. Annotations, retention records, and synchronous-mode samples are
+//! text (samples reuse the `lineproto` line format behind a kind byte); the
+//! group-commit sample fast path packs many samples into one binary `B`
+//! frame, with each series' escaped key journaled once per sync epoch as a
+//! `K` key-definition frame. The framing (length prefix + CRC32) lives in
+//! [`crate::segment`].
+//!
+//! Durability is governed by a group-commit [`FsyncPolicy`]: `always`
+//! fsyncs every append (nothing acknowledged is ever lost), `every-n`
+//! amortizes the fsync over n records, `never` leaves flushing to the OS.
+//! Replay is deterministic — the same segments always rebuild byte-identical
+//! store contents — and a torn tail truncates the log at the last intact
+//! frame rather than failing recovery.
+
+use crate::lineproto::{format_key, format_line, parse_key, parse_line, LineProtoError};
+use crate::obs::metrics;
+use crate::quality::QualityFlags;
+use crate::segment::{self, segment_path, SegmentWriter, HEADER_LEN};
+use crate::series::Point;
+use crate::store::Store;
+use crate::SeriesKey;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+/// When to fsync appended records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append (and every batch): an acknowledged record
+    /// survives any crash.
+    Always,
+    /// Group commit: fsync once per `n` records.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse a `--durability` flag value: `always`, `never`, `every-n`
+    /// (default group size) or `every-<count>`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            "every-n" => Some(FsyncPolicy::EveryN(64)),
+            _ => {
+                let n = s.strip_prefix("every-")?.parse::<u32>().ok()?;
+                (n > 0).then_some(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// One logged store mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A sample append (`Store::write` / one element of `write_batch`).
+    Sample { key: SeriesKey, point: Point },
+    /// A quality-flag annotation (`Store::annotate`).
+    Annotate { key: SeriesKey, from: i64, to: i64, flags: QualityFlags },
+    /// A retention cutoff (`Store::retain_from`).
+    Retain { cutoff: i64 },
+}
+
+/// Decode failure for a CRC-valid payload (format bug or version skew, not
+/// disk corruption — corruption is fenced by the segment CRC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalCodecError {
+    Empty,
+    UnknownKind(u8),
+    NotUtf8,
+    Line(LineProtoError),
+    Malformed(String),
+}
+
+impl fmt::Display for WalCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalCodecError::Empty => write!(f, "empty record payload"),
+            WalCodecError::UnknownKind(k) => write!(f, "unknown record kind {k:#04x}"),
+            WalCodecError::NotUtf8 => write!(f, "record body is not UTF-8"),
+            WalCodecError::Line(e) => write!(f, "bad line body: {e}"),
+            WalCodecError::Malformed(s) => write!(f, "malformed record body: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WalCodecError {}
+
+impl From<LineProtoError> for WalCodecError {
+    fn from(e: LineProtoError) -> Self {
+        WalCodecError::Line(e)
+    }
+}
+
+impl WalRecord {
+    /// Kind byte leading the payload.
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Sample { .. } => b'S',
+            WalRecord::Annotate { .. } => b'A',
+            WalRecord::Retain { .. } => b'R',
+        }
+    }
+
+    /// Encode to a segment payload. Fails only for keys/values the line
+    /// protocol rejects (non-finite samples, control characters).
+    pub fn encode(&self) -> Result<Vec<u8>, LineProtoError> {
+        let body = match self {
+            WalRecord::Sample { key, point } => format_line(key, *point)?,
+            WalRecord::Annotate { key, from, to, flags } => {
+                format!("{} {from} {to} {flags}", format_key(key)?)
+            }
+            WalRecord::Retain { cutoff } => format!("{cutoff}"),
+        };
+        let mut out = Vec::with_capacity(body.len() + 1);
+        out.push(self.kind());
+        out.extend_from_slice(body.as_bytes());
+        Ok(out)
+    }
+
+    /// Decode a segment payload (inverse of [`Self::encode`]).
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, WalCodecError> {
+        let (&kind, body) = payload.split_first().ok_or(WalCodecError::Empty)?;
+        let body = std::str::from_utf8(body).map_err(|_| WalCodecError::NotUtf8)?;
+        match kind {
+            b'S' => {
+                let (key, point) = parse_line(body)?;
+                Ok(WalRecord::Sample { key, point })
+            }
+            b'A' => {
+                // The key token may contain escaped spaces; split like the
+                // line parser does.
+                let sections = crate::lineproto::split_sections(body);
+                let [keytok, from, to, flags] = sections.as_slice() else {
+                    return Err(WalCodecError::Malformed(body.to_string()));
+                };
+                let key = parse_key(keytok)?;
+                let parse_i = |s: &str| {
+                    s.parse::<i64>().map_err(|_| WalCodecError::Malformed(body.to_string()))
+                };
+                let flags = flags
+                    .parse::<QualityFlags>()
+                    .map_err(|_| WalCodecError::Malformed(body.to_string()))?;
+                Ok(WalRecord::Annotate { key, from: parse_i(from)?, to: parse_i(to)?, flags })
+            }
+            b'R' => {
+                let cutoff = body
+                    .trim()
+                    .parse::<i64>()
+                    .map_err(|_| WalCodecError::Malformed(body.to_string()))?;
+                Ok(WalRecord::Retain { cutoff })
+            }
+            other => Err(WalCodecError::UnknownKind(other)),
+        }
+    }
+}
+
+/// A durable position in the log: everything up to and including
+/// `(segment, offset)` has been applied (offsets are frame boundaries as
+/// returned by the segment writer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    pub segment: u64,
+    pub offset: u64,
+}
+
+struct Inner {
+    writer: SegmentWriter,
+    seq: u64,
+    since_sync: u32,
+}
+
+/// Message to the background writer thread (group-commit modes).
+enum Msg {
+    /// Packed sample entries ([`SAMPLE_ENTRY`] bytes each: token id, t,
+    /// f64 bits, all LE). Consecutive staged samples collapse into one
+    /// `Bin`, so the producer's per-sample cost is a short memcpy and the
+    /// writer checksums and writes a whole burst as one frame.
+    Bin(Vec<u8>),
+    Rec(Box<WalRecord>),
+    Batch(Vec<WalRecord>),
+    /// Flush + fsync barrier; the ack carries the result.
+    Sync(Sender<io::Result<()>>),
+}
+
+/// Bytes of one packed sample entry in a `Bin` / `B` frame:
+/// `u32 token id | i64 t | f64 bits`, all little-endian.
+const SAMPLE_ENTRY: usize = 20;
+
+/// How many packed sample bytes accumulate before the producer forwards the
+/// staged batch to the writer thread. Each forward wakes the (usually
+/// parked) writer — futex traffic plus a scheduler round-trip on small
+/// hosts — and each drained burst costs one group-commit fsync under
+/// `every-n`, so the hot path amortizes both aggressively. Sync barriers
+/// and `Drop` flush whatever is staged regardless, and checkpoints barrier
+/// every few rounds, so the staging window never outlives a checkpoint
+/// interval: `every-n` bounds fsync *work*, not acknowledged loss — the
+/// checkpoint is the acknowledgment unit, and `always` is the no-loss mode.
+const STAGE_SAMPLE_BYTES: usize = 256 * 1024;
+
+/// How many staged control messages (non-sample records, which are rare)
+/// force a forward on their own.
+const STAGE_FLUSH: usize = 1024;
+
+/// Largest packed-sample slice per `B` frame: the frame payload is the kind
+/// byte plus the slice, and must stay within [`segment::MAX_PAYLOAD`].
+const B_FRAME_MAX: usize =
+    (segment::MAX_PAYLOAD as usize - 1) / SAMPLE_ENTRY * SAMPLE_ENTRY;
+
+/// State shared between the append handle and the writer thread.
+struct Shared {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    rotate_bytes: u64,
+    inner: Mutex<Inner>,
+    /// Escaped key tokens by id, appended on first use of a series (ids are
+    /// dense and monotonic). The writer thread keeps a private copy and only
+    /// takes this lock when it sees an id past its cache, so steady-state
+    /// appends never contend here.
+    tokens: Mutex<Vec<Arc<str>>>,
+}
+
+impl Shared {
+    fn rotate_if_due(&self, inner: &mut Inner) -> io::Result<()> {
+        if inner.writer.offset() >= self.rotate_bytes {
+            inner.writer.sync()?;
+            inner.seq += 1;
+            inner.writer = SegmentWriter::create(&segment_path(&self.dir, inner.seq))?;
+            metrics().wal_rotations.inc();
+        }
+        Ok(())
+    }
+
+    fn commit(&self, inner: &mut Inner, appended: u32) -> io::Result<()> {
+        match self.policy {
+            FsyncPolicy::Always => self.sync_now(inner),
+            FsyncPolicy::EveryN(n) => {
+                inner.since_sync += appended;
+                if inner.since_sync >= n {
+                    self.sync_now(inner)?;
+                }
+                Ok(())
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    fn sync_now(&self, inner: &mut Inner) -> io::Result<()> {
+        inner.writer.sync()?;
+        metrics().wal_fsyncs.inc();
+        inner.since_sync = 0;
+        Ok(())
+    }
+
+    fn append_payload(&self, inner: &mut Inner, payload: &[u8]) -> io::Result<()> {
+        self.rotate_if_due(inner)?;
+        inner.writer.append(payload)?;
+        metrics().wal_appends.inc();
+        metrics().wal_bytes.add(8 + payload.len() as u64);
+        Ok(())
+    }
+
+    fn append_record(&self, inner: &mut Inner, rec: &WalRecord) -> io::Result<()> {
+        let payload = rec
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.append_payload(inner, &payload)
+    }
+}
+
+/// Drain loop of the background writer: batch whatever is queued, append it
+/// under one lock acquisition, group-commit once per drained burst. On
+/// channel disconnect (handle dropped) the tail is flushed best-effort.
+///
+/// Sample bursts become two frame kinds: a `K` key-definition frame the
+/// first time an id appears since the last sync barrier (mapping the id to
+/// its escaped key token), then `B` frames holding the packed entries.
+/// Re-emitting `K` after every barrier keeps any barrier position
+/// self-contained: replay starting at a checkpointed offset always sees a
+/// key's definition before its samples.
+fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Vec<Msg>>) {
+    let mut buf: Vec<u8> = Vec::with_capacity(B_FRAME_MAX.min(STAGE_SAMPLE_BYTES) + 1);
+    let mut pending: u32 = 0;
+    // Private view of the token registry; refreshed (one lock) only when a
+    // message references an id newer than the cache.
+    let mut tokens: Vec<Arc<str>> = Vec::new();
+    // Ids whose `K` frame is already on disk in the current sync epoch.
+    let mut defined: Vec<bool> = Vec::new();
+    let handle = |inner: &mut Inner,
+                  msg: Msg,
+                  pending: &mut u32,
+                  buf: &mut Vec<u8>,
+                  tokens: &mut Vec<Arc<str>>,
+                  defined: &mut Vec<bool>| {
+        match msg {
+            Msg::Bin(bytes) => {
+                for e in bytes.chunks_exact(SAMPLE_ENTRY) {
+                    let id = u32::from_le_bytes(e[..4].try_into().unwrap()) as usize;
+                    if defined.get(id).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    if id >= tokens.len() {
+                        // Ids are registered before they are staged, so the
+                        // registry always covers this id.
+                        tokens.clone_from(&shared.tokens.lock().unwrap());
+                    }
+                    if defined.len() <= id {
+                        defined.resize(id + 1, false);
+                    }
+                    buf.clear();
+                    buf.push(b'K');
+                    buf.extend_from_slice(&(id as u32).to_le_bytes());
+                    buf.extend_from_slice(tokens[id].as_bytes());
+                    if shared.append_payload(inner, buf).is_err() {
+                        metrics().wal_write_errors.inc();
+                    }
+                    defined[id] = true;
+                }
+                for chunk in bytes.chunks(B_FRAME_MAX) {
+                    buf.clear();
+                    buf.push(b'B');
+                    buf.extend_from_slice(chunk);
+                    if shared.append_payload(inner, buf).is_err() {
+                        metrics().wal_write_errors.inc();
+                    } else {
+                        *pending += (chunk.len() / SAMPLE_ENTRY) as u32;
+                    }
+                }
+            }
+            Msg::Rec(rec) => {
+                if shared.append_record(inner, &rec).is_err() {
+                    metrics().wal_write_errors.inc();
+                } else {
+                    *pending += 1;
+                }
+            }
+            Msg::Batch(recs) => {
+                for rec in recs {
+                    if shared.append_record(inner, &rec).is_err() {
+                        metrics().wal_write_errors.inc();
+                    } else {
+                        *pending += 1;
+                    }
+                }
+            }
+            Msg::Sync(ack) => {
+                let r = shared.sync_now(inner);
+                *pending = 0;
+                // The next burst re-defines its keys so that this barrier's
+                // position (a potential checkpoint) starts a tail that is
+                // replayable on its own.
+                defined.clear();
+                let _ = ack.send(r);
+            }
+        }
+    };
+    loop {
+        let mut batch = match rx.recv() {
+            Ok(b) => b,
+            Err(_) => break,
+        };
+        let mut inner = shared.inner.lock().unwrap();
+        loop {
+            for msg in batch.drain(..) {
+                handle(&mut inner, msg, &mut pending, &mut buf, &mut tokens, &mut defined);
+            }
+            match rx.try_recv() {
+                Ok(next) => batch = next,
+                Err(_) => break,
+            }
+        }
+        if pending > 0 {
+            if shared.commit(&mut inner, pending).is_err() {
+                metrics().wal_write_errors.inc();
+            }
+            pending = 0;
+        }
+    }
+    let mut inner = shared.inner.lock().unwrap();
+    let _ = shared.sync_now(&mut inner);
+}
+
+/// The write-ahead log: an append handle over a directory of segments.
+///
+/// Commit modes `every-n` and `never` run appends through a dedicated
+/// writer thread (group commit off the measurement hot path); `always`
+/// stays synchronous so an acknowledged append has already been fsynced
+/// when the call returns.
+pub struct Wal {
+    shared: Arc<Shared>,
+    /// Staged messages not yet forwarded to the writer thread (async modes
+    /// only). Kept producer-side so a staging push is a cheap uncontended
+    /// lock, not a channel wake.
+    stage: Mutex<Vec<Msg>>,
+    /// `Some` in async (writer-thread) mode, `None` for `always`.
+    tx: Option<Sender<Vec<Msg>>>,
+    writer_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Forward the staged tail, then disconnect the channel so the writer
+        // drains and flushes, then join it — a dropped handle leaves every
+        // queued record on disk.
+        if let Some(tx) = &self.tx {
+            let staged = std::mem::take(&mut *self.stage.lock().unwrap());
+            if !staged.is_empty() {
+                let _ = tx.send(staged);
+            }
+        }
+        drop(self.tx.take());
+        if let Some(h) = self.writer_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Wal {
+    /// Wrap freshly-opened segment state in a handle, spawning the writer
+    /// thread for the asynchronous commit modes.
+    fn finish(dir: &Path, policy: FsyncPolicy, rotate_bytes: u64, inner: Inner) -> Wal {
+        let shared = Arc::new(Shared {
+            dir: dir.to_path_buf(),
+            policy,
+            rotate_bytes,
+            inner: Mutex::new(inner),
+            tokens: Mutex::new(Vec::new()),
+        });
+        let stage = Mutex::new(Vec::new());
+        if policy == FsyncPolicy::Always {
+            return Wal { shared, stage, tx: None, writer_thread: None };
+        }
+        let (tx, rx) = mpsc::channel();
+        let thread_shared = Arc::clone(&shared);
+        let h = thread::Builder::new()
+            .name("tsdb-wal".into())
+            .spawn(move || writer_loop(thread_shared, rx))
+            .expect("spawn wal writer thread");
+        Wal { shared, stage, tx: Some(tx), writer_thread: Some(h) }
+    }
+
+    /// Stage one message, forwarding a full batch to the writer thread when
+    /// the staging buffer reaches [`STAGE_FLUSH`].
+    fn enqueue(&self, tx: &Sender<Vec<Msg>>, msg: Msg) {
+        let mut stage = self.stage.lock().unwrap();
+        stage.push(msg);
+        if stage.len() >= STAGE_FLUSH {
+            let batch = std::mem::replace(&mut *stage, Vec::with_capacity(STAGE_FLUSH));
+            drop(stage);
+            if tx.send(batch).is_err() {
+                metrics().wal_write_errors.inc();
+            }
+        }
+    }
+
+    /// Open (or create) the log in `dir`, continuing after the last intact
+    /// record of the newest segment. A torn tail is truncated and counted.
+    pub fn open(dir: &Path, policy: FsyncPolicy, rotate_bytes: u64) -> io::Result<Wal> {
+        std::fs::create_dir_all(dir)?;
+        let segments = segment::list_segments(dir)?;
+        let inner = match segments.last() {
+            Some(&(seq, ref path)) => {
+                let scan = segment::scan(path, 0)?;
+                if scan.torn {
+                    metrics().wal_torn_records.inc();
+                }
+                Inner { writer: SegmentWriter::open_end(path, scan.valid_len)?, seq, since_sync: 0 }
+            }
+            None => Inner {
+                writer: SegmentWriter::create(&segment_path(dir, 1))?,
+                seq: 1,
+                since_sync: 0,
+            },
+        };
+        Ok(Wal::finish(dir, policy, rotate_bytes, inner))
+    }
+
+    /// Open the log positioned exactly at `pos`, discarding everything past
+    /// it: segments newer than `pos.segment` are deleted and the segment at
+    /// `pos` is truncated to `pos.offset`. Used on resume-from-checkpoint —
+    /// the discarded tail was never acknowledged by a checkpoint and is
+    /// regenerated by deterministic re-execution. Returns the log and the
+    /// number of intact records discarded.
+    pub fn open_at(
+        dir: &Path,
+        policy: FsyncPolicy,
+        rotate_bytes: u64,
+        pos: WalPosition,
+    ) -> io::Result<(Wal, u64)> {
+        std::fs::create_dir_all(dir)?;
+        let mut discarded = 0u64;
+        let mut target: Option<PathBuf> = None;
+        for (seq, path) in segment::list_segments(dir)? {
+            if seq > pos.segment {
+                let scan = segment::scan(&path, 0)?;
+                discarded += scan.records.len() as u64;
+                std::fs::remove_file(&path)?;
+            } else if seq == pos.segment {
+                target = Some(path);
+            }
+        }
+        let inner = match target {
+            Some(path) => {
+                let scan = segment::scan(&path, pos.offset)?;
+                discarded += scan.records.len() as u64;
+                if scan.torn && scan.valid_len > pos.offset {
+                    metrics().wal_torn_records.inc();
+                }
+                // The checkpoint position was durable when written; a file
+                // that is nonetheless shorter (or torn earlier) only loses
+                // records the checkpoint snapshot already covers.
+                let valid = pos.offset.min(scan.valid_len).max(HEADER_LEN);
+                Inner {
+                    writer: SegmentWriter::open_end(&path, valid)?,
+                    seq: pos.segment,
+                    since_sync: 0,
+                }
+            }
+            None => Inner {
+                writer: SegmentWriter::create(&segment_path(dir, pos.segment.max(1)))?,
+                seq: pos.segment.max(1),
+                since_sync: 0,
+            },
+        };
+        metrics().wal_tail_discarded.add(discarded);
+        Ok((Wal::finish(dir, policy, rotate_bytes, inner), discarded))
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    pub fn policy(&self) -> FsyncPolicy {
+        self.shared.policy
+    }
+
+    /// Append one record under the configured commit policy. Failures are
+    /// counted (`manic_tsdb_wal_write_errors`) but do not poison the log
+    /// handle — the in-memory store stays authoritative.
+    pub fn append(&self, rec: WalRecord) {
+        match &self.tx {
+            Some(tx) => self.enqueue(tx, Msg::Rec(Box::new(rec))),
+            None => {
+                let mut inner = self.shared.inner.lock().unwrap();
+                if self
+                    .shared
+                    .append_record(&mut inner, &rec)
+                    .and_then(|()| self.shared.commit(&mut inner, 1))
+                    .is_err()
+                {
+                    metrics().wal_write_errors.inc();
+                }
+            }
+        }
+    }
+
+    /// Sample fast path: `token` caches this series' id in the WAL's
+    /// key-token registry (registered here on first use), so steady-state
+    /// appends cost a [`SAMPLE_ENTRY`]-byte memcpy into the staging buffer
+    /// on the caller's thread — no refcount traffic, no encoding.
+    pub fn append_sample(&self, key: &SeriesKey, token: &OnceLock<u32>, point: Point) {
+        let Some(tx) = &self.tx else {
+            // Synchronous (`always`) mode: the slow path already fsyncs per
+            // record; encoding cost is noise there.
+            self.append(WalRecord::Sample { key: key.clone(), point });
+            return;
+        };
+        if !point.v.is_finite() {
+            // Mirrors `format_line`'s rejection on the text path.
+            metrics().wal_write_errors.inc();
+            return;
+        }
+        let id = match token.get() {
+            Some(&id) => id,
+            None => match format_key(key) {
+                Ok(s) => {
+                    let mut tokens = self.shared.tokens.lock().unwrap();
+                    let id = tokens.len() as u32;
+                    tokens.push(s.into());
+                    drop(tokens);
+                    // A racing registration wastes one registry slot; both
+                    // slots hold the same token text, so either id encodes
+                    // identically.
+                    *token.get_or_init(|| id)
+                }
+                Err(_) => {
+                    metrics().wal_write_errors.inc();
+                    return;
+                }
+            },
+        };
+        let mut entry = [0u8; SAMPLE_ENTRY];
+        entry[..4].copy_from_slice(&id.to_le_bytes());
+        entry[4..12].copy_from_slice(&point.t.to_le_bytes());
+        entry[12..].copy_from_slice(&point.v.to_bits().to_le_bytes());
+        let mut stage = self.stage.lock().unwrap();
+        let bin = match stage.last_mut() {
+            Some(Msg::Bin(b)) => b,
+            _ => {
+                stage.push(Msg::Bin(Vec::with_capacity(STAGE_SAMPLE_BYTES)));
+                let Some(Msg::Bin(b)) = stage.last_mut() else { unreachable!() };
+                b
+            }
+        };
+        bin.extend_from_slice(&entry);
+        if bin.len() >= STAGE_SAMPLE_BYTES {
+            let batch = std::mem::take(&mut *stage);
+            drop(stage);
+            if tx.send(batch).is_err() {
+                metrics().wal_write_errors.inc();
+            }
+        }
+    }
+
+    /// Append many records with a single group-commit decision.
+    pub fn append_batch(&self, recs: Vec<WalRecord>) {
+        if recs.is_empty() {
+            return;
+        }
+        match &self.tx {
+            Some(tx) => self.enqueue(tx, Msg::Batch(recs)),
+            None => {
+                let mut inner = self.shared.inner.lock().unwrap();
+                let mut ok = 0u32;
+                for rec in &recs {
+                    match self.shared.append_record(&mut inner, rec) {
+                        Ok(()) => ok += 1,
+                        Err(_) => metrics().wal_write_errors.inc(),
+                    }
+                }
+                if self.shared.commit(&mut inner, ok).is_err() {
+                    metrics().wal_write_errors.inc();
+                }
+            }
+        }
+    }
+
+    /// Flush buffers and fsync regardless of policy (checkpoint and drain
+    /// paths). In async mode this is a barrier: every append enqueued
+    /// before this call is on disk when it returns.
+    pub fn flush_and_sync(&self) -> io::Result<()> {
+        if let Some(tx) = &self.tx {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            let gone = || io::Error::new(io::ErrorKind::BrokenPipe, "wal writer thread gone");
+            // The staged tail rides in front of the barrier in one batch so
+            // the sync covers everything enqueued before this call.
+            let mut batch = std::mem::take(&mut *self.stage.lock().unwrap());
+            batch.push(Msg::Sync(ack_tx));
+            tx.send(batch).map_err(|_| gone())?;
+            return ack_rx.recv().map_err(|_| gone())?;
+        }
+        let mut inner = self.shared.inner.lock().unwrap();
+        self.shared.sync_now(&mut inner)
+    }
+
+    /// Current end-of-log position. Meaningful as a durability point only
+    /// after [`Self::flush_and_sync`].
+    pub fn position(&self) -> WalPosition {
+        let inner = self.shared.inner.lock().unwrap();
+        WalPosition { segment: inner.seq, offset: inner.writer.offset() }
+    }
+
+    /// Delete segments strictly older than `segment` (they are fully
+    /// covered by a checkpoint snapshot). Returns how many were removed.
+    pub fn gc_before(&self, segment: u64) -> io::Result<usize> {
+        // Hold the segment lock so rotation cannot race the directory walk.
+        let _inner = self.shared.inner.lock().unwrap();
+        let mut removed = 0;
+        for (seq, path) in segment::list_segments(&self.shared.dir)? {
+            if seq < segment {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Outcome of a replay.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Segment files visited.
+    pub segments: u64,
+    /// Records applied, by kind.
+    pub samples: u64,
+    pub annotations: u64,
+    pub retains: u64,
+    /// Torn frames fenced off (replay stops at the first).
+    pub torn_records: u64,
+    /// CRC-valid payloads that failed to decode (skipped).
+    pub decode_errors: u64,
+}
+
+impl ReplayReport {
+    pub fn records(&self) -> u64 {
+        self.samples + self.annotations + self.retains
+    }
+}
+
+fn replay_payloads(
+    payloads: &[(u64, Vec<u8>)],
+    store: &Store,
+    report: &mut ReplayReport,
+    keymap: &mut Vec<Option<SeriesKey>>,
+) {
+    for (_, payload) in payloads {
+        match payload.split_first() {
+            // Key definition: `u32 LE id` + escaped key token. Later
+            // definitions overwrite — ids restart at 0 whenever the log is
+            // reopened, and the writer re-defines keys after every sync
+            // barrier, so in-order replay always holds the current mapping.
+            Some((b'K', body)) => {
+                let def = body.split_at_checked(4).and_then(|(id, tok)| {
+                    let id = u32::from_le_bytes(id.try_into().unwrap()) as usize;
+                    let key = parse_key(std::str::from_utf8(tok).ok()?).ok()?;
+                    Some((id, key))
+                });
+                match def {
+                    Some((id, key)) => {
+                        if keymap.len() <= id {
+                            keymap.resize(id + 1, None);
+                        }
+                        keymap[id] = Some(key);
+                    }
+                    None => report.decode_errors += 1,
+                }
+            }
+            // Packed sample batch: SAMPLE_ENTRY-byte entries.
+            Some((b'B', body)) => {
+                if body.len() % SAMPLE_ENTRY != 0 {
+                    report.decode_errors += 1;
+                }
+                for e in body.chunks_exact(SAMPLE_ENTRY) {
+                    let id = u32::from_le_bytes(e[..4].try_into().unwrap()) as usize;
+                    let t = i64::from_le_bytes(e[4..12].try_into().unwrap());
+                    let v = f64::from_bits(u64::from_le_bytes(e[12..].try_into().unwrap()));
+                    match keymap.get(id).and_then(Option::as_ref) {
+                        Some(key) => {
+                            let rec = WalRecord::Sample { key: key.clone(), point: Point::new(t, v) };
+                            store.apply_record(&rec);
+                            report.samples += 1;
+                            metrics().wal_replayed_records.inc();
+                        }
+                        None => report.decode_errors += 1,
+                    }
+                }
+            }
+            _ => match WalRecord::decode(payload) {
+                Ok(rec) => {
+                    match rec {
+                        WalRecord::Sample { .. } => report.samples += 1,
+                        WalRecord::Annotate { .. } => report.annotations += 1,
+                        WalRecord::Retain { .. } => report.retains += 1,
+                    }
+                    store.apply_record(&rec);
+                    metrics().wal_replayed_records.inc();
+                }
+                Err(_) => report.decode_errors += 1,
+            },
+        }
+    }
+}
+
+/// Replay a single segment file (e.g. a checkpoint's store snapshot) into
+/// `store`. The store must not have a WAL attached yet, or the replay would
+/// be re-logged.
+pub fn replay_segment_file(path: &Path, store: &Store) -> io::Result<ReplayReport> {
+    let mut report = ReplayReport { segments: 1, ..ReplayReport::default() };
+    let scan = segment::scan(path, 0)?;
+    if scan.torn {
+        report.torn_records += 1;
+        metrics().wal_torn_records.inc();
+    }
+    let mut keymap = Vec::new();
+    replay_payloads(&scan.records, store, &mut report, &mut keymap);
+    Ok(report)
+}
+
+/// Replay every record in `dir` after `pos` into `store`, stopping (not
+/// failing) at the first torn frame. Replay is deterministic: the same
+/// segments replay to byte-identical store contents.
+pub fn replay_dir_from(dir: &Path, store: &Store, pos: WalPosition) -> io::Result<ReplayReport> {
+    let mut report = ReplayReport::default();
+    let mut keymap = Vec::new();
+    for (seq, path) in segment::list_segments(dir)? {
+        if seq < pos.segment {
+            continue;
+        }
+        let from = if seq == pos.segment { pos.offset } else { 0 };
+        let scan = segment::scan(&path, from)?;
+        report.segments += 1;
+        replay_payloads(&scan.records, store, &mut report, &mut keymap);
+        if scan.torn {
+            report.torn_records += 1;
+            metrics().wal_torn_records.inc();
+            break;
+        }
+    }
+    Ok(report)
+}
+
+/// Replay the whole directory from the beginning.
+pub fn replay_dir(dir: &Path, store: &Store) -> io::Result<ReplayReport> {
+    replay_dir_from(dir, store, WalPosition { segment: 0, offset: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Point;
+
+    fn k(link: &str) -> SeriesKey {
+        SeriesKey::with_tags("tslp", &[("vp", "v1"), ("link", link), ("end", "far")])
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("manic-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn policy_parse_and_display_roundtrip() {
+        for (s, want) in [
+            ("always", FsyncPolicy::Always),
+            ("never", FsyncPolicy::Never),
+            ("every-n", FsyncPolicy::EveryN(64)),
+            ("every-7", FsyncPolicy::EveryN(7)),
+        ] {
+            assert_eq!(FsyncPolicy::parse(s), Some(want));
+            assert_eq!(FsyncPolicy::parse(&want.to_string()), Some(want));
+        }
+        for bad in ["", "sometimes", "every-0", "every-x", "every-"] {
+            assert_eq!(FsyncPolicy::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let records = vec![
+            WalRecord::Sample { key: k("1.2.3.4"), point: Point::new(300, 18.5) },
+            WalRecord::Annotate { key: k("od d,=\\"), from: 0, to: 600, flags: 0b1010 },
+            WalRecord::Retain { cutoff: -12345 },
+        ];
+        for rec in records {
+            let enc = rec.encode().unwrap();
+            assert_eq!(WalRecord::decode(&enc).unwrap(), rec);
+        }
+        assert!(matches!(WalRecord::decode(b""), Err(WalCodecError::Empty)));
+        assert!(matches!(WalRecord::decode(b"Zx"), Err(WalCodecError::UnknownKind(b'Z'))));
+        assert!(matches!(WalRecord::decode(b"A only-a-key"), Err(WalCodecError::Malformed(_))));
+        assert!(matches!(WalRecord::decode(b"Rnot-a-number"), Err(WalCodecError::Malformed(_))));
+        assert!(matches!(WalRecord::decode(&[b'S', 0xFF, 0xFE]), Err(WalCodecError::NotUtf8)));
+    }
+
+    #[test]
+    fn replay_rebuilds_and_is_deterministic() {
+        let dir = tmpdir("replay");
+        let wal = Wal::open(&dir, FsyncPolicy::Always, 1 << 20).unwrap();
+        let live = Store::new();
+        live.attach_wal(std::sync::Arc::new(wal));
+        for t in 0..20 {
+            live.write(&k("a"), t * 300, t as f64);
+        }
+        live.annotate(&k("a"), 0, 600, 1);
+        live.retain_from(900);
+        live.write(&k("b"), 5000, 2.5);
+
+        let r1 = Store::new();
+        let rep1 = replay_dir(&dir, &r1).unwrap();
+        let r2 = Store::new();
+        let rep2 = replay_dir(&dir, &r2).unwrap();
+        assert_eq!(rep1, rep2);
+        assert_eq!(rep1.torn_records, 0);
+        assert_eq!(rep1.samples, 21);
+        assert_eq!(rep1.annotations, 1);
+        assert_eq!(rep1.retains, 1);
+        assert_eq!(r1.content_hash(), r2.content_hash());
+        assert_eq!(r1.content_hash(), live.content_hash(), "replay matches the live store");
+        assert_eq!(r1.point_count(), live.point_count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments_and_gc_drops_old() {
+        let dir = tmpdir("rotate");
+        let wal = Wal::open(&dir, FsyncPolicy::EveryN(8), 256).unwrap();
+        let store = Store::new();
+        let wal = std::sync::Arc::new(wal);
+        store.attach_wal(std::sync::Arc::clone(&wal));
+        for t in 0..100 {
+            store.write(&k("a"), t, t as f64);
+            if t % 10 == 9 {
+                // Barrier every 10 samples so the batched fast path emits
+                // many frames and the 256-byte threshold actually rotates.
+                wal.flush_and_sync().unwrap();
+            }
+        }
+        wal.flush_and_sync().unwrap();
+        let segs = segment::list_segments(&dir).unwrap();
+        assert!(segs.len() > 2, "256-byte threshold rotates: {} segments", segs.len());
+        let pos = wal.position();
+        let rebuilt = Store::new();
+        let rep = replay_dir(&dir, &rebuilt).unwrap();
+        assert_eq!(rep.samples, 100);
+        assert_eq!(rebuilt.content_hash(), store.content_hash());
+        let removed = wal.gc_before(pos.segment).unwrap();
+        assert_eq!(removed, segs.len() - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_binary_path_replays_identically_and_from_barriers() {
+        let dir = tmpdir("binbatch");
+        let wal = std::sync::Arc::new(Wal::open(&dir, FsyncPolicy::EveryN(64), 1 << 20).unwrap());
+        let live = Store::new();
+        live.attach_wal(std::sync::Arc::clone(&wal));
+        // Phase 1, then a sync barrier whose position acts as a checkpoint.
+        for t in 0..50 {
+            live.write(&k("a"), t * 300, t as f64);
+            live.write(&k("b"), t * 300, -t as f64);
+        }
+        wal.flush_and_sync().unwrap();
+        let barrier = wal.position();
+        // Phase 2 mixes samples with a text record to exercise interleaving.
+        live.annotate(&k("a"), 0, 600, 1);
+        for t in 50..80 {
+            live.write(&k("a"), t * 300, t as f64);
+            live.write(&k("c"), t * 300, 0.5);
+        }
+        // NaN is rejected on the fast path too, not silently corrupted.
+        live.write(&k("a"), 99_000, f64::NAN);
+        wal.flush_and_sync().unwrap();
+        drop(wal);
+
+        // Full replay rebuilds everything except the rejected NaN point.
+        let full = Store::new();
+        let rep = replay_dir(&dir, &full).unwrap();
+        assert_eq!(rep.samples, 160);
+        assert_eq!(rep.annotations, 1);
+        assert_eq!(rep.decode_errors, 0);
+        assert_eq!(full.point_count(), live.point_count() - 1);
+
+        // A tail replay from the barrier is self-contained: the writer
+        // re-defines key tokens after every sync, so the phase-2 records
+        // decode without seeing phase 1.
+        let tail = Store::new();
+        for t in 0..50 {
+            tail.write(&k("a"), t * 300, t as f64);
+            tail.write(&k("b"), t * 300, -t as f64);
+        }
+        let tail_rep = replay_dir_from(&dir, &tail, barrier).unwrap();
+        assert_eq!(tail_rep.samples, 60);
+        assert_eq!(tail_rep.decode_errors, 0);
+        assert_eq!(tail.content_hash(), full.content_hash());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_at_truncates_unacknowledged_tail() {
+        let dir = tmpdir("openat");
+        let wal = Wal::open(&dir, FsyncPolicy::Always, 1 << 20).unwrap();
+        let store = Store::new();
+        let wal = std::sync::Arc::new(wal);
+        store.attach_wal(std::sync::Arc::clone(&wal));
+        for t in 0..5 {
+            store.write(&k("a"), t, 1.0);
+        }
+        wal.flush_and_sync().unwrap();
+        let ack = wal.position();
+        for t in 5..9 {
+            store.write(&k("a"), t, 1.0);
+        }
+        wal.flush_and_sync().unwrap();
+        drop((store, wal));
+
+        let (wal2, discarded) = Wal::open_at(&dir, FsyncPolicy::Always, 1 << 20, ack).unwrap();
+        assert_eq!(discarded, 4, "post-checkpoint tail discarded");
+        assert_eq!(wal2.position(), ack);
+        let rebuilt = Store::new();
+        assert_eq!(replay_dir(&dir, &rebuilt).unwrap().samples, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for the tsdb crate.
 
-use manic_tsdb::{parse_line, Aggregate, Point, Series, SeriesKey, Store, TagSet};
+use manic_tsdb::{parse_line, Aggregate, Point, Series, SeriesKey, Store, TagSet, WalRecord};
 use proptest::prelude::*;
 
 proptest! {
@@ -68,11 +68,112 @@ proptest! {
             meas,
             TagSet::from_pairs(tags.iter().map(|(k, v)| (k.clone(), v.clone()))),
         );
-        let line = manic_tsdb::format_line(&key, Point::new(t, v));
+        let line = manic_tsdb::format_line(&key, Point::new(t, v)).expect("finite, clean names");
         let (k2, p2) = parse_line(&line).unwrap();
         prop_assert_eq!(key, k2);
         prop_assert_eq!(p2.t, t);
         prop_assert!((p2.v - v).abs() <= 1e-9 * v.abs().max(1.0));
+    }
+
+    /// Hostile names — structural characters, backslashes, spaces — either
+    /// format-and-roundtrip exactly or are rejected at format time. No
+    /// silently unparseable line is ever produced.
+    #[test]
+    fn lineproto_roundtrips_or_rejects_hostile_names(
+        meas in "[a-z ,=\\\\]{1,8}",
+        tags in prop::collection::vec(("[a-z ,=\\\\]{1,5}", "[a-z0-9 ,=\\\\._-]{1,8}"), 0..3),
+        t in -1_000_000i64..1_000_000,
+        v in -1e9f64..1e9,
+    ) {
+        let key = SeriesKey::new(
+            meas,
+            TagSet::from_pairs(tags.iter().map(|(k, v)| (k.clone(), v.clone()))),
+        );
+        if let Ok(line) = manic_tsdb::format_line(&key, Point::new(t, v)) {
+            let (k2, p2) = parse_line(&line).unwrap();
+            prop_assert_eq!(key, k2, "line: {}", line);
+            prop_assert_eq!(p2.t, t);
+        }
+    }
+
+    /// The line parser never panics, whatever the input.
+    #[test]
+    fn parse_line_never_panics(s in "[ -~]{0,80}") {
+        let _ = parse_line(&s);
+        let _ = manic_tsdb::parse_key(&s);
+    }
+
+    /// Arbitrary bytes never panic the WAL record decoder.
+    #[test]
+    fn wal_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..120)) {
+        let _ = WalRecord::decode(&bytes);
+    }
+
+    /// encode -> decode is the identity for valid WAL records.
+    #[test]
+    fn wal_record_roundtrip(
+        link in "[a-z0-9.]{1,12}",
+        t in -1_000_000i64..1_000_000,
+        v in -1e9f64..1e9,
+        from in -1000i64..1000,
+        len in 1i64..1000,
+        flags in 1u8..16,
+        cutoff in -1_000_000i64..1_000_000,
+    ) {
+        let key = SeriesKey::with_tags("tslp", &[("vp", "v1"), ("link", &link)]);
+        for rec in [
+            WalRecord::Sample { key: key.clone(), point: Point::new(t, v) },
+            WalRecord::Annotate { key, from, to: from + len, flags },
+            WalRecord::Retain { cutoff },
+        ] {
+            let enc = rec.encode().expect("clean names encode");
+            let dec = WalRecord::decode(&enc).expect("own encoding decodes");
+            prop_assert_eq!(dec, rec);
+        }
+    }
+
+    /// Any prefix of a segment file replays cleanly: at worst the final
+    /// record is fenced as torn, never a panic or a half-applied record.
+    #[test]
+    fn random_segment_prefix_always_replays(
+        samples in prop::collection::vec((0i64..10_000, -1e6f64..1e6), 1..30),
+        cut_back in 0usize..200,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let n = CASE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("manic-prop-seg-{}-{n}.seg", std::process::id()));
+        let mut w = manic_tsdb::segment::SegmentWriter::create(&path).unwrap();
+        let key = SeriesKey::with_tags("tslp", &[("vp", "v1"), ("link", "1.2.3.4")]);
+        for &(t, v) in &samples {
+            let rec = WalRecord::Sample { key: key.clone(), point: Point::new(t, v) };
+            w.append(&rec.encode().unwrap()).unwrap();
+        }
+        let full = w.offset();
+        w.sync().unwrap();
+        drop(w);
+        let cut = full.saturating_sub(cut_back as u64);
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(cut).unwrap();
+
+        let store = Store::new();
+        let report = manic_tsdb::wal::replay_segment_file(&path, &store).unwrap();
+        prop_assert!(report.samples <= samples.len() as u64);
+        prop_assert!(report.torn_records <= 1);
+        if cut >= full {
+            prop_assert_eq!(report.samples, samples.len() as u64, "untouched file replays fully");
+            prop_assert_eq!(report.torn_records, 0);
+        }
+        // Replay applied a prefix of the sample sequence, in order.
+        let got = store.query(&key, i64::MIN, i64::MAX);
+        let want: Vec<Point> = {
+            let mut w: Vec<Point> =
+                samples.iter().take(report.samples as usize).map(|&(t, v)| Point::new(t, v)).collect();
+            w.sort_by_key(|p| p.t);
+            w
+        };
+        prop_assert_eq!(got.len(), want.len());
+        std::fs::remove_file(&path).unwrap();
     }
 
     /// Dense downsampling covers every bin exactly once.

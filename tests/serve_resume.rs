@@ -1,0 +1,101 @@
+//! Crash/restart integration test for the serving layer: a durable
+//! measurement run is killed mid-window (its `Durable` handle dropped with
+//! an unacknowledged WAL tail past the last checkpoint), resumed from the
+//! same `--data-dir`, run to the end of the window, and served again. The
+//! API responses a dashboard consumes — `/api/links` and the per-link
+//! timeseries — must be byte-identical to an uninterrupted in-memory run,
+//! because resume re-executes the discarded tail deterministically.
+
+use manic_core::{resume, Durable, DurabilityConfig, System, SystemConfig};
+use manic_netsim::time::{date_to_sim, Date};
+use manic_scenario::worlds::toy;
+use manic_serve::{ServeConfig, ServeState, Server, SnapshotHub};
+use manic_tsdb::wal::FsyncPolicy;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One request over a fresh connection; returns the body, asserting 200.
+fn get_body(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    assert_eq!(&head[9..12], "200", "GET {path}: {body}");
+    body.to_string()
+}
+
+/// Publish a snapshot of `sys` as of `to` and capture every endpoint a
+/// dashboard would read for the link list plus one link's timeseries.
+fn serve_and_capture(sys: &System, from: i64, to: i64) -> (String, String, String) {
+    let hub = Arc::new(SnapshotHub::new());
+    hub.publish_from(sys, to, to - from);
+    let far = hub.current().links.first().map(|l| l.far_ip.to_string()).expect("links");
+    let cfg = ServeConfig::default();
+    let state = Arc::new(ServeState::new(Arc::clone(&hub), Arc::clone(&sys.store), &cfg));
+    let server = Server::start("127.0.0.1:0", state, &cfg).expect("bind");
+    let addr = server.local_addr();
+    let links = get_body(addr, "/api/links");
+    let series = get_body(addr, &format!("/api/link/{far}/timeseries?bin=300&agg=min"));
+    (links, series, far)
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("manic-serve-resume-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn served_state_survives_kill_and_resume() {
+    let from = date_to_sim(Date::new(2017, 3, 1));
+    let to = from + 6 * 3600;
+    // Kill point between checkpoints: 52 rounds in, last checkpoint at 48.
+    let mid = from + 4 * 3600 + 20 * 60;
+    let cfg = DurabilityConfig {
+        fsync: FsyncPolicy::EveryN(64),
+        checkpoint_every_rounds: 12,
+        ..DurabilityConfig::default()
+    };
+
+    // Reference: the same window run uninterrupted, entirely in memory.
+    let mut ref_sys = System::new(toy(42), SystemConfig::default());
+    ref_sys.run_packet_mode(from, to);
+    for vi in 0..ref_sys.vps.len() {
+        ref_sys.arm_reactive_loss(vi, from, to);
+    }
+    let (ref_links, ref_series, ref_far) = serve_and_capture(&ref_sys, from, to);
+    drop(ref_sys);
+
+    // Durable run, "killed" mid-window: the handle is dropped without a
+    // final checkpoint, leaving rounds 49–52 only in the WAL tail.
+    let dir = tmpdir("world");
+    let mut sys = System::new(toy(42), SystemConfig::default());
+    let mut durable =
+        Durable::create(&sys, "toy", 42, &dir, from, to, cfg.clone()).expect("create durable");
+    durable.run_window(&mut sys, mid, &|| false).expect("run to kill point");
+    drop(durable);
+    drop(sys);
+
+    // Restart from disk: the unacknowledged tail is discarded and
+    // re-executed, then the window runs to its end.
+    let (mut sys2, mut durable2, info) = resume(&dir, Some(cfg)).expect("resume");
+    assert!(info.store_hash_ok, "restored snapshot hash verified");
+    assert!(info.tail_discarded > 0, "the kill left an unacknowledged WAL tail");
+    assert_eq!(info.rounds, 48, "resume starts at the last checkpoint");
+    durable2.run_window(&mut sys2, to, &|| false).expect("run to window end");
+    durable2.finalize(&sys2, to).expect("final checkpoint");
+    for vi in 0..sys2.vps.len() {
+        sys2.arm_reactive_loss(vi, from, to);
+    }
+
+    let (res_links, res_series, res_far) = serve_and_capture(&sys2, from, to);
+    assert_eq!(res_far, ref_far, "snapshot lists the same first link");
+    assert_eq!(res_links, ref_links, "/api/links identical after kill+resume");
+    assert_eq!(res_series, ref_series, "timeseries identical after kill+resume");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
