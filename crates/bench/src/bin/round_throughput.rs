@@ -1,0 +1,179 @@
+//! Round-engine throughput: rounds/sec on the US world at 1/2/4/8 threads.
+//!
+//! Each configuration runs the identical packet-mode window from the same
+//! seed; the serial (1-thread) run is the baseline. Two things come out:
+//!
+//! * the perf trajectory (`BENCH_round_throughput.json` at the repo root,
+//!   `results/round_throughput.metrics.json` for the observability record);
+//! * a hard determinism gate: every thread count must produce a
+//!   byte-identical store hash and identical congestion verdicts. A speedup
+//!   regression is a warning on starved hardware; a hash divergence is a
+//!   correctness bug and fails the binary outright.
+//!
+//! Speedup thresholds are scaled by the *effective* parallelism
+//! `min(threads, available cores)` — an N-thread pool cannot beat serial on
+//! fewer than N cores, and CI runners come in many shapes. On >= 8 cores
+//! the full ISSUE gate applies: >= 2.5x at 4 threads, >= 4x at 8.
+
+use manic_bench::{save_result, us_system, SEED};
+use manic_netsim::time::{datetime_to_sim, Date};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Simulated window: long enough that every VP runs its startup bdrmap
+/// cycle (the dominant, most uneven cost) plus a tail of steady TSLP rounds.
+const WINDOW_SECS: i64 = 2 * 3600;
+
+/// Minimum speedup vs. serial required at `eff` effective cores. `eff = 1`
+/// still gates at 0.85: the pool must not be pathologically slower than the
+/// serial path even when it cannot win.
+fn required_speedup(eff: usize) -> f64 {
+    match eff {
+        0 | 1 => 0.85,
+        2 => 1.4,
+        3 => 1.9,
+        4..=7 => 2.5,
+        _ => 4.0,
+    }
+}
+
+struct Run {
+    threads: usize,
+    wall_s: f64,
+    rounds: usize,
+    hash: u64,
+    series: usize,
+    points: usize,
+    verdicts: Vec<String>,
+}
+
+fn run_once(threads: usize, from: i64, to: i64) -> Run {
+    let mut sys = us_system();
+    sys.cfg.threads = threads;
+    let started = Instant::now();
+    let rounds = sys.run_packet_mode(from, to);
+    let wall_s = started.elapsed().as_secs_f64();
+    let mut verdicts: Vec<String> = Vec::new();
+    for vi in 0..sys.vps.len() {
+        sys.arm_reactive_loss(vi, from, to);
+        verdicts.extend(sys.vps[vi].loss.targets.iter().map(|t| t.far_ip.to_string()));
+    }
+    verdicts.sort();
+    verdicts.dedup();
+    Run {
+        threads,
+        wall_s,
+        rounds,
+        hash: sys.store.content_hash(),
+        series: sys.store.series_count(),
+        points: sys.store.point_count(),
+        verdicts,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let from = datetime_to_sim(Date::new(2017, 3, 6), 20, 0, 0);
+    let to = from + WINDOW_SECS;
+
+    let runs: Vec<Run> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| run_once(n, from, to))
+        .collect();
+    let base = &runs[0];
+    let base_rps = base.rounds as f64 / base.wall_s;
+
+    let mut txt = String::new();
+    let _ = writeln!(
+        txt,
+        "round_throughput: US world, seed {SEED:#x}, {} rounds/run, {cores} core(s)",
+        base.rounds
+    );
+    let _ = writeln!(txt, "{:>7} {:>9} {:>11} {:>9} {:>18}", "threads", "wall_s", "rounds/s", "speedup", "store_hash");
+    let mut hash_ok = true;
+    let mut speedup_ok = true;
+    let mut rows = String::new();
+    for r in &runs {
+        let rps = r.rounds as f64 / r.wall_s;
+        let speedup = rps / base_rps;
+        let eff = r.threads.min(cores);
+        let need = required_speedup(eff);
+        let identical = r.hash == base.hash
+            && r.verdicts == base.verdicts
+            && r.series == base.series
+            && r.points == base.points;
+        hash_ok &= identical;
+        let pass = speedup >= need;
+        speedup_ok &= pass;
+        let _ = writeln!(
+            txt,
+            "{:>7} {:>9.3} {:>11.2} {:>8.2}x {:>18} {}",
+            r.threads,
+            r.wall_s,
+            rps,
+            speedup,
+            format!("{:016x}", r.hash),
+            if !identical {
+                "DIVERGED"
+            } else if pass {
+                "ok"
+            } else {
+                "slow (below gate for this core count)"
+            }
+        );
+        let _ = writeln!(
+            rows,
+            "    {{\"threads\": {}, \"effective_cores\": {}, \"wall_s\": {:.4}, \
+             \"rounds_per_s\": {:.4}, \"speedup\": {:.4}, \"required_speedup\": {:.2}, \
+             \"store_hash\": \"{:016x}\", \"identical_to_serial\": {}}},",
+            r.threads, eff, r.wall_s, rps, speedup, need, r.hash, identical
+        );
+    }
+    let _ = writeln!(
+        txt,
+        "baseline: {base_rps:.2} rounds/s serial; store series={} points={} \
+         verdicts={}",
+        base.series,
+        base.points,
+        if base.verdicts.is_empty() { "-".into() } else { base.verdicts.join(",") }
+    );
+    let _ = writeln!(
+        txt,
+        "determinism: {}",
+        if hash_ok { "all thread counts byte-identical" } else { "HASH DIVERGENCE" }
+    );
+
+    print!("{txt}"); // ALLOW_PRINT: bench output
+    save_result("round_throughput", &txt);
+
+    // Repo-root trajectory file (stable name, one JSON object per run of
+    // this binary; CI uploads it as an artifact).
+    let rows_json: Vec<String> = rows
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"round_throughput\",\n  \"world\": \"us\",\n  \
+         \"seed\": \"{SEED:#x}\",\n  \"window_secs\": {WINDOW_SECS},\n  \
+         \"rounds\": {},\n  \"cores\": {cores},\n  \
+         \"baseline_rounds_per_s\": {:.4},\n  \"deterministic\": {},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        base.rounds,
+        base_rps,
+        hash_ok,
+        rows_json.join(",\n")
+    );
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(root.join("BENCH_round_throughput.json"), &json)
+        .expect("write BENCH_round_throughput.json");
+
+    assert!(
+        hash_ok,
+        "store hash / verdicts diverged across thread counts — determinism bug"
+    );
+    assert!(
+        speedup_ok,
+        "round throughput below the gate for this machine's core count"
+    );
+}

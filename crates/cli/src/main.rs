@@ -137,6 +137,8 @@ struct Args {
     checkpoint_every: u64,
     /// `--resume`: restore the last checkpoint from `--data-dir`.
     resume: bool,
+    /// `--threads N`: round-engine worker threads (default: all cores).
+    threads: usize,
 }
 
 impl Args {
@@ -159,6 +161,7 @@ impl Args {
             durability: "every-64".into(),
             checkpoint_every: 12,
             resume: false,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         };
         while let Some(flag) = argv.next() {
             let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
@@ -187,6 +190,7 @@ impl Args {
                     args.checkpoint_every = num("--checkpoint-every", val()?)?
                 }
                 "--resume" => args.resume = true,
+                "--threads" => args.threads = num("--threads", val()?)?,
                 "--quiet" => args.quiet = true,
                 "--verbosity" => {
                     let v = val()?;
@@ -226,6 +230,12 @@ impl Args {
                 reason: format!("'{}' is not always|every-<n>|never", args.durability),
             });
         }
+        if args.threads == 0 {
+            return Err(CliError::InvalidValue {
+                flag: "--threads",
+                reason: "must be at least 1".into(),
+            });
+        }
         if args.checkpoint_every == 0 {
             return Err(CliError::InvalidValue {
                 flag: "--checkpoint-every",
@@ -241,6 +251,12 @@ impl Args {
             });
         }
         Ok((cmd, args))
+    }
+
+    /// Core config with the CLI's threading knob applied. Thread count
+    /// never changes results (byte-identical stores), only wall-clock.
+    fn system_config(&self) -> SystemConfig {
+        SystemConfig { threads: self.threads, ..SystemConfig::default() }
     }
 
     fn build_world(&self) -> Result<World, CliError> {
@@ -293,8 +309,10 @@ fn main() -> ExitCode {
             eprintln!("  manic obs    <metrics|journal|explain <far-ip>|links> [--hours H]");
             eprintln!("  manic serve  [--addr HOST:PORT] [--hours H] [--snapshot-interval SECS]");
             eprintln!("  manic run    [--hours H] [--data-dir DIR] [--durability P] [--resume]");
+            eprintln!("               [--threads N]   (N workers; results identical for any N)");
             eprintln!("  manic recover <data-dir>");
-            eprintln!("global flags: --verbosity trace|debug|info|warn|error, --quiet");
+            eprintln!("global flags: --verbosity trace|debug|info|warn|error, --quiet,");
+            eprintln!("              --threads N (round-engine workers, default: all cores)");
             eprintln!("durability:   --data-dir DIR, --durability always|every-<n>|never,");
             eprintln!("              --checkpoint-every ROUNDS, --resume");
             ExitCode::FAILURE
@@ -395,7 +413,7 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
 
     let Some(dir) = args.data_dir.clone() else {
         // In-memory run: same summary lines, nothing persisted.
-        let mut sys = System::new(args.build_world()?, SystemConfig::default());
+        let mut sys = System::new(args.build_world()?, args.system_config());
         let mut t = from;
         while t < to && !stop() {
             let next = (t + manic_probing::tslp::ROUND_SECS).min(to);
@@ -410,7 +428,8 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
     let cfg = durability_config(&args);
     let has_checkpoint = dir.join("checkpoint.json").is_file();
     let (mut sys, mut d) = if args.resume && has_checkpoint {
-        let (sys, d, info) = manic_core::resume(&dir, Some(cfg)).map_err(durability_err)?;
+        let (mut sys, d, info) = manic_core::resume(&dir, Some(cfg)).map_err(durability_err)?;
+        sys.cfg.threads = args.threads;
         println!(
             "resumed: world '{}' seed {} rounds={} t={} recovered_in_ms={:.1} \
              tail_discarded={} snapshot_records={} hash_ok={}",
@@ -431,7 +450,7 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
             // restart with `--resume`.
             println!("no checkpoint in {}; starting fresh", dir.display());
         }
-        let sys = System::new(args.build_world()?, SystemConfig::default());
+        let sys = System::new(args.build_world()?, args.system_config());
         let d = manic_core::Durable::create(&sys, &args.world, args.seed, &dir, from, to, cfg)
             .map_err(durability_err)?;
         (sys, d)
@@ -520,14 +539,15 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
     // sample hits the WAL and state checkpoints on cadence; the health
     // endpoint exposes the persistence frontier.
     let (mut sys, mut durable, status) = match &args.data_dir {
-        None => (System::new(args.build_world()?, SystemConfig::default()), None, None),
+        None => (System::new(args.build_world()?, args.system_config()), None, None),
         Some(dir) => {
             let dir = std::path::PathBuf::from(dir);
             let cfg = durability_config(&args);
             let status = Arc::new(manic_serve::DurabilityStatus::new(&args.durability));
             if args.resume && dir.join("checkpoint.json").is_file() {
-                let (sys, d, info) =
+                let (mut sys, d, info) =
                     manic_core::resume(&dir, Some(cfg)).map_err(durability_err)?;
+                sys.cfg.threads = args.threads;
                 status.note_recovery(info.rounds, info.tail_discarded, info.recovery_ms);
                 println!(
                     "resumed: world '{}' seed {} rounds={} tail_discarded={} \
@@ -536,7 +556,7 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
                 );
                 (sys, Some(d), Some(status))
             } else {
-                let sys = System::new(args.build_world()?, SystemConfig::default());
+                let sys = System::new(args.build_world()?, args.system_config());
                 let d = manic_core::Durable::create(
                     &sys, &args.world, args.seed, &dir, from, to, cfg,
                 )
@@ -677,7 +697,7 @@ fn vp_index(sys: &System, args: &Args) -> Result<usize, CliError> {
 }
 
 fn cmd_links(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let mut sys = System::new(args.build_world()?, args.system_config());
     let vi = vp_index(&sys, &args)?;
     let n = sys.run_bdrmap_cycle(vi, t0());
     let vp = &sys.vps[vi];
@@ -715,7 +735,7 @@ fn cmd_links(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_watch(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let mut sys = System::new(args.build_world()?, args.system_config());
     let vi = vp_index(&sys, &args)?;
     let from = t0();
     let to = from + args.hours * 3600;
@@ -750,7 +770,7 @@ fn cmd_watch(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_study(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let mut sys = System::new(args.build_world()?, args.system_config());
     let from = t0();
     let to = from + args.days * SECS_PER_DAY;
     let links = run_longitudinal(&mut sys, &LongitudinalConfig::new(from, to));
@@ -788,7 +808,7 @@ fn cmd_study(args: Args) -> Result<(), CliError> {
 /// §4.2's manual-inspection workflow: render an evidence dossier for every
 /// link the pipeline asserts as congested.
 fn cmd_inspect(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let mut sys = System::new(args.build_world()?, args.system_config());
     let from = t0();
     let to = from + args.days * SECS_PER_DAY;
     let links = run_longitudinal(&mut sys, &LongitudinalConfig::new(from, to));
@@ -832,7 +852,7 @@ fn cmd_inspect(args: Args) -> Result<(), CliError> {
 /// Every `manic obs` subcommand shares this run: the CLI is one process, so
 /// "after a pipeline run" means running one here.
 fn obs_pipeline(args: &Args) -> Result<System, CliError> {
-    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let mut sys = System::new(args.build_world()?, args.system_config());
     let from = t0();
     let to = from + args.hours * 3600;
     sys.run_packet_mode(from, to);
@@ -920,7 +940,7 @@ fn cmd_obs(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_export(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, SystemConfig::default());
+    let mut sys = System::new(args.build_world()?, args.system_config());
     let vi = vp_index(&sys, &args)?;
     let from = t0();
     let to = from + args.hours * 3600;

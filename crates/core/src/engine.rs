@@ -1,0 +1,260 @@
+//! Deterministic parallel round engine.
+//!
+//! `run_rounds` drives the packet-mode measurement loop: every five-minute
+//! round it runs each active VP's work — a bdrmap cycle when due, retirement
+//! polling, and the TSLP round — and lands the results in the tsdb. With
+//! `SystemConfig::threads > 1` the per-VP work is fanned out across a fixed
+//! pool of `std::thread::scope` workers that pull VP indices from a shared
+//! atomic counter (work stealing, since bdrmap cycles make VP cost wildly
+//! uneven).
+//!
+//! Determinism is preserved **by construction**, not by scheduling:
+//!
+//! * Each VP owns its `SimState` (RNG draw counter, ICMP rate-limiter
+//!   buckets) and its probing budget, so a VP's outcomes are a pure function
+//!   of (seed, VP, round) — independent of which worker runs it or when.
+//! * Workers never touch the store. Samples and quality annotations are
+//!   staged into per-VP [`StagedOps`] buffers; after the round barrier the
+//!   coordinator commits them in **VP-index order**, so the WAL byte stream,
+//!   the per-series point order, `Store::content_hash`, and checkpoint
+//!   contents are identical for every thread count — including `threads: 1`,
+//!   which runs the exact same stage-then-commit path without spawning.
+//!
+//! Journal events and metrics emitted *inside* a round may interleave across
+//! workers; ordering of those side channels is explicitly not part of the
+//! determinism contract (DESIGN.md §5g).
+
+use crate::system::{System, SystemConfig, VpRuntime};
+use manic_netsim::time::{SimTime, SECS_PER_DAY};
+use manic_probing::tslp::{End, TslpProber, ROUND_SECS};
+use manic_scenario::World;
+use manic_tsdb::{quality::QualityFlags, Point, Store};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Per-VP staging buffers: everything a round wants to persist, recorded in
+/// probe order and replayed against the store at commit time. Task indices
+/// resolve to series keys through the prober's cached key table, so staging
+/// a sample is two pushes — no formatting, no store locks.
+#[derive(Default)]
+pub(crate) struct StagedOps {
+    /// `(task, end, t, rtt_ms)` in probe order (grouped by task).
+    samples: Vec<(u32, End, SimTime, f64)>,
+    /// `(task, end, from, until, flags)` in call order.
+    annots: Vec<(u32, End, SimTime, SimTime, QualityFlags)>,
+}
+
+impl StagedOps {
+    pub(crate) fn sample(&mut self, ti: usize, end: End, t: SimTime, rtt_ms: f64) {
+        self.samples.push((ti as u32, end, t, rtt_ms));
+    }
+
+    pub(crate) fn annotate(
+        &mut self,
+        ti: usize,
+        end: End,
+        from: SimTime,
+        until: SimTime,
+        flags: QualityFlags,
+    ) {
+        self.annots.push((ti as u32, end, from, until, flags));
+    }
+
+    /// Replay the staged round against the store and clear the buffers.
+    /// Samples arrive grouped by task, so each task's near/far runs become
+    /// one `write_batch` per series (one shard-lock acquisition, one WAL
+    /// staging pass) instead of a lock per point. `near`/`far` are reusable
+    /// scratch buffers owned by the commit loop.
+    fn commit(
+        &mut self,
+        store: &Store,
+        tslp: &TslpProber,
+        near: &mut Vec<Point>,
+        far: &mut Vec<Point>,
+    ) {
+        for &(ti, end, from, until, flags) in &self.annots {
+            store.annotate(tslp.key(ti as usize, end), from, until, flags);
+        }
+        self.annots.clear();
+        let mut i = 0;
+        while i < self.samples.len() {
+            let ti = self.samples[i].0;
+            near.clear();
+            far.clear();
+            let mut j = i;
+            while j < self.samples.len() && self.samples[j].0 == ti {
+                let (_, end, t, v) = self.samples[j];
+                match end {
+                    End::Near => near.push(Point { t, v }),
+                    End::Far => far.push(Point { t, v }),
+                }
+                j += 1;
+            }
+            if !near.is_empty() {
+                store.write_batch(tslp.key(ti as usize, End::Near), near);
+            }
+            if !far.is_empty() {
+                store.write_batch(tslp.key(ti as usize, End::Far), far);
+            }
+            i = j;
+        }
+        self.samples.clear();
+    }
+}
+
+/// One VP's share of one round: bdrmap cycle when due (with empty-cycle
+/// backoff), retirement polling, then the health-gated TSLP round. Mirrors
+/// the original serial control loop exactly — per VP, the relative order of
+/// cycle → retirement check → round is unchanged, and no step reads another
+/// VP's state.
+fn vp_round(
+    world: &World,
+    cfg: &SystemConfig,
+    vp: &mut VpRuntime,
+    stage: &mut StagedOps,
+    t: SimTime,
+    cycle_secs: i64,
+) {
+    if !vp.active {
+        return;
+    }
+    let due = match vp.last_cycle {
+        // Immediately-due (startup or reactive refresh), unless a string of
+        // failed cycles has us backing off.
+        None => {
+            let ok = vp.cycle_backoff.may_attempt(t);
+            if !ok {
+                crate::obs::metrics().backoff_waits.inc();
+            }
+            ok
+        }
+        Some(last) => t - last >= cycle_secs,
+    };
+    if due {
+        let n = System::bdrmap_cycle_for(world, cfg, vp, t);
+        if n == 0 {
+            // The VP's view collapsed (uplink outage, first-hop reboot):
+            // bounded retry instead of a dead 2 days.
+            vp.last_cycle = None;
+            vp.cycle_backoff.note_failure(t);
+            crate::obs::metrics().bdrmap_cycles_empty.inc();
+            manic_obs::event!(
+                manic_obs::WARN, "core", "bdrmap_cycle_empty", t,
+                vp = vp.handle.name.as_str(),
+            );
+        } else {
+            vp.cycle_backoff.note_success();
+        }
+    }
+    // Host churn driven by the fault schedule (§3): the VP is withdrawn;
+    // history remains, probing stops.
+    if world.net.fault.vp_retired(vp.handle.router, t) {
+        vp.active = false;
+        crate::obs::metrics().vp_retired.inc();
+        manic_obs::event!(
+            manic_obs::WARN, "core", "vp_retired", t,
+            vp = vp.handle.name.as_str(),
+        );
+        return;
+    }
+    System::round_with_health(vp, &world.net, cfg, t, stage);
+}
+
+/// Drive rounds over `[from, to)`; returns the number of rounds executed.
+pub(crate) fn run_rounds(sys: &mut System, from: SimTime, to: SimTime) -> usize {
+    let System { world, store, vps, cfg } = sys;
+    let cycle_secs = cfg.bdrmap_cycle_days * SECS_PER_DAY;
+    let nvps = vps.len();
+    let threads = cfg.threads.max(1).min(nvps.max(1));
+    let mut near_scratch: Vec<Point> = Vec::new();
+    let mut far_scratch: Vec<Point> = Vec::new();
+    let mut rounds = 0;
+
+    if threads <= 1 {
+        // Serial path: same stage-then-commit sequence, no pool. Keeping the
+        // paths identical is what makes `--threads N` byte-compatible with
+        // `--threads 1`.
+        let mut stages: Vec<StagedOps> = (0..nvps).map(|_| StagedOps::default()).collect();
+        let mut t = from;
+        while t < to {
+            let round_started = std::time::Instant::now();
+            for (vp, stage) in vps.iter_mut().zip(stages.iter_mut()) {
+                vp_round(world, cfg, vp, stage, t, cycle_secs);
+            }
+            let m = crate::obs::metrics();
+            let commit_started = std::time::Instant::now();
+            for (vp, stage) in vps.iter().zip(stages.iter_mut()) {
+                stage.commit(store, &vp.tslp, &mut near_scratch, &mut far_scratch);
+            }
+            m.commit_ms.observe(commit_started.elapsed().as_secs_f64() * 1e3);
+            m.rounds.inc();
+            m.round_duration.observe(round_started.elapsed().as_secs_f64() * 1e3);
+            rounds += 1;
+            t += ROUND_SECS;
+        }
+        return rounds;
+    }
+
+    // Parallel path: a persistent pool synchronized by a barrier (two waits
+    // per round: start and done). Each slot pairs one VP's runtime with its
+    // staging buffer; the work-stealing index hands slots to whichever
+    // worker is free, and the per-slot mutex is uncontended (each slot is
+    // claimed exactly once per round).
+    let slots: Vec<Mutex<(&mut VpRuntime, StagedOps)>> = vps
+        .iter_mut()
+        .map(|vp| Mutex::new((vp, StagedOps::default())))
+        .collect();
+    let barrier = Barrier::new(threads + 1);
+    let done = AtomicBool::new(false);
+    let cur_t = AtomicI64::new(0);
+    let next = AtomicUsize::new(0);
+    let world = &*world;
+    let cfg = &*cfg;
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                barrier.wait();
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let t = cur_t.load(Ordering::Acquire);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= nvps {
+                        break;
+                    }
+                    let mut slot = slots[i].lock().unwrap();
+                    let (vp, stage) = &mut *slot;
+                    vp_round(world, cfg, vp, stage, t, cycle_secs);
+                }
+                barrier.wait();
+            });
+        }
+
+        let mut t = from;
+        while t < to {
+            let round_started = std::time::Instant::now();
+            cur_t.store(t, Ordering::Release);
+            next.store(0, Ordering::Release);
+            barrier.wait(); // release the round to the pool
+            barrier.wait(); // all VPs done; staged results quiescent
+            let m = crate::obs::metrics();
+            let commit_started = std::time::Instant::now();
+            for slot in &slots {
+                let mut guard = slot.lock().unwrap();
+                let (vp, stage) = &mut *guard;
+                stage.commit(store, &vp.tslp, &mut near_scratch, &mut far_scratch);
+            }
+            m.commit_ms.observe(commit_started.elapsed().as_secs_f64() * 1e3);
+            m.rounds.inc();
+            m.parallel_rounds.inc();
+            m.round_duration.observe(round_started.elapsed().as_secs_f64() * 1e3);
+            rounds += 1;
+            t += ROUND_SECS;
+        }
+        done.store(true, Ordering::Release);
+        barrier.wait();
+    });
+    rounds
+}

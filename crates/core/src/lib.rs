@@ -18,6 +18,7 @@
 //!   studies tractable.
 
 pub mod checkpoint;
+pub(crate) mod engine;
 pub mod health;
 pub mod longitudinal;
 pub(crate) mod obs;

@@ -35,10 +35,16 @@ pub(crate) struct Metrics {
     /// Congested / clean verdicts recorded to the audit trail.
     pub verdicts_congested: Counter,
     pub verdicts_clean: Counter,
+    /// Rounds executed by the parallel engine (threads > 1); `rounds` minus
+    /// this is the serial-path count.
+    pub parallel_rounds: Counter,
     /// Wall-clock time spent per simulated TSLP round. The serving layer's
     /// load tests watch this to prove query traffic does not slow the
     /// measurement loop.
     pub round_duration: Histogram,
+    /// Wall-clock time the parallel engine spends committing staged per-VP
+    /// results in VP-index order (the serialized tail of each round).
+    pub commit_ms: Histogram,
     /// Checkpoints written / bytes persisted per checkpoint (snapshot +
     /// metadata) / WAL segments garbage-collected as acknowledged.
     pub checkpoint_writes: Counter,
@@ -83,7 +89,9 @@ pub(crate) fn metrics() -> &'static Metrics {
             health_to_retired: health("retired"),
             verdicts_congested: r.counter("manic_core_verdicts_congested"),
             verdicts_clean: r.counter("manic_core_verdicts_clean"),
+            parallel_rounds: r.counter("manic_core_parallel_rounds"),
             round_duration: r.histogram("manic_core_round_duration_ms"),
+            commit_ms: r.histogram("manic_core_commit_ms"),
             checkpoint_writes: r.counter("manic_core_checkpoint_writes"),
             checkpoint_bytes: r.counter("manic_core_checkpoint_bytes"),
             checkpoint_wal_gc_segments: r.counter("manic_core_checkpoint_wal_gc_segments"),

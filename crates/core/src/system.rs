@@ -3,10 +3,10 @@
 use crate::health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};
 use manic_bdrmap::{infer, BdrmapResult};
 use manic_inference::{detect_level_shifts_masked, LevelShiftConfig, DEFAULT_REJECT};
-use manic_netsim::time::{SimTime, SECS_PER_DAY};
+use manic_netsim::time::SimTime;
 use manic_netsim::{Ipv4, SimState};
 use manic_probing::loss::LossTarget;
-use manic_probing::tslp::{select_targets, series_key, End, TslpProber, ROUND_SECS};
+use manic_probing::tslp::{select_targets, End, TslpProber, ROUND_SECS};
 use manic_probing::{ally_test, trace, LossProber, Traceroute, VpHandle};
 use manic_scenario::World;
 use manic_tsdb::{quality, Aggregate, Store};
@@ -29,6 +29,10 @@ pub struct SystemConfig {
     pub reactive_mismatch_rounds: u32,
     /// Per-task health machine thresholds (degrade / quarantine / retire).
     pub health: HealthConfig,
+    /// Worker threads for the round engine. 1 = serial; anything higher
+    /// fans VPs out across a fixed pool. Every value produces byte-identical
+    /// stores (see DESIGN.md §5g), so this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -40,6 +44,7 @@ impl Default for SystemConfig {
             max_loss_targets: 30,
             reactive_mismatch_rounds: 3,
             health: HealthConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -144,8 +149,19 @@ impl System {
     /// Run one full bdrmap cycle for VP `vi` at time `t`: traceroute to every
     /// routed prefix, alias resolution, border inference, probing-set update.
     pub fn run_bdrmap_cycle(&mut self, vi: usize, t: SimTime) -> usize {
-        let world = &self.world;
-        let vp = &mut self.vps[vi];
+        Self::bdrmap_cycle_for(&self.world, &self.cfg, &mut self.vps[vi], t)
+    }
+
+    /// [`Self::run_bdrmap_cycle`] against explicit borrows, so the engine can
+    /// drive one VP's cycle from a worker thread while other VPs run theirs.
+    /// Touches only `vp`, the read-only world, and process-wide obs sinks —
+    /// every store-visible effect goes through the staged commit path.
+    pub(crate) fn bdrmap_cycle_for(
+        world: &World,
+        cfg: &SystemConfig,
+        vp: &mut VpRuntime,
+        t: SimTime,
+    ) -> usize {
         // Traceroute to every routed prefix (two destinations each for flow
         // diversity across parallel links).
         // Traces are paced across the cycle (production bdrmap spreads a
@@ -169,7 +185,7 @@ impl System {
                     flow,
                     when,
                     40,
-                    self.cfg.trace_attempts,
+                    cfg.trace_attempts,
                 ));
                 when += 30;
             }
@@ -284,85 +300,25 @@ impl System {
     /// machine (their windows annotated `QUARANTINED|GAP`), and suspect
     /// sample windows (renumbered responder, far-dark-while-near-fine) are
     /// annotated so inference masks them.
+    ///
+    /// With `cfg.threads > 1` the rounds are fanned out across a worker pool
+    /// (`crate::engine`); the store contents are byte-identical for every
+    /// thread count.
     pub fn run_packet_mode(&mut self, from: SimTime, to: SimTime) -> usize {
-        let cycle_secs = self.cfg.bdrmap_cycle_days * SECS_PER_DAY;
-        let mut rounds = 0;
-        let mut t = from;
-        while t < to {
-            let round_started = std::time::Instant::now();
-            for vi in 0..self.vps.len() {
-                if !self.vps[vi].active {
-                    continue;
-                }
-                let due = match self.vps[vi].last_cycle {
-                    // Immediately-due (startup or reactive refresh), unless a
-                    // string of failed cycles has us backing off.
-                    None => {
-                        let ok = self.vps[vi].cycle_backoff.may_attempt(t);
-                        if !ok {
-                            crate::obs::metrics().backoff_waits.inc();
-                        }
-                        ok
-                    }
-                    Some(last) => t - last >= cycle_secs,
-                };
-                if due {
-                    let n = self.run_bdrmap_cycle(vi, t);
-                    let vp = &mut self.vps[vi];
-                    if n == 0 {
-                        // The VP's view collapsed (uplink outage, first-hop
-                        // reboot): bounded retry instead of a dead 2 days.
-                        vp.last_cycle = None;
-                        vp.cycle_backoff.note_failure(t);
-                        crate::obs::metrics().bdrmap_cycles_empty.inc();
-                        manic_obs::event!(
-                            manic_obs::WARN, "core", "bdrmap_cycle_empty", t,
-                            vp = vp.handle.name.as_str(),
-                        );
-                    } else {
-                        vp.cycle_backoff.note_success();
-                    }
-                }
-            }
-            for vp in self.vps.iter_mut().filter(|v| v.active) {
-                // Host churn driven by the fault schedule (§3): the VP is
-                // withdrawn; history remains, probing stops.
-                if self.world.net.fault.vp_retired(vp.handle.router, t) {
-                    vp.active = false;
-                    crate::obs::metrics().vp_retired.inc();
-                    manic_obs::event!(
-                        manic_obs::WARN, "core", "vp_retired", t,
-                        vp = vp.handle.name.as_str(),
-                    );
-                    continue;
-                }
-                Self::round_with_health(
-                    vp,
-                    &self.world.net,
-                    &self.store,
-                    &self.cfg,
-                    t,
-                );
-            }
-            crate::obs::metrics().rounds.inc();
-            crate::obs::metrics()
-                .round_duration
-                .observe(round_started.elapsed().as_secs_f64() * 1e3);
-            rounds += 1;
-            t += ROUND_SECS;
-        }
-        rounds
+        crate::engine::run_rounds(self, from, to)
     }
 
     /// One TSLP round for one VP under the health machine: skip tasks whose
-    /// machine says not to probe, fold far-end outcomes back in, and write
-    /// the round's quality annotations.
-    fn round_with_health(
+    /// machine says not to probe, fold far-end outcomes back in, and stage
+    /// the round's samples and quality annotations into `stage` — nothing is
+    /// written to the store here, so the engine can run VPs concurrently and
+    /// commit their staged results in VP-index order.
+    pub(crate) fn round_with_health(
         vp: &mut VpRuntime,
         net: &manic_netsim::Network,
-        store: &Store,
         cfg: &SystemConfig,
         t: SimTime,
+        stage: &mut crate::engine::StagedOps,
     ) {
         use std::collections::{HashMap, HashSet};
         let probe_mask: Vec<bool> = vp
@@ -376,21 +332,21 @@ impl System {
             })
             .collect();
         // Skipped tasks get their window flagged: a gap the prober chose.
-        for (ti, task) in vp.tslp.tasks.iter().enumerate() {
-            if !probe_mask[ti] {
+        for (ti, &probed) in probe_mask.iter().enumerate() {
+            if !probed {
                 for end in [End::Near, End::Far] {
-                    store.annotate(
-                        &series_key(&vp.handle.name, task, end),
-                        t,
-                        t + ROUND_SECS,
-                        quality::QUARANTINED | quality::GAP,
-                    );
+                    stage.annotate(ti, end, t, t + ROUND_SECS, quality::QUARANTINED | quality::GAP);
                 }
             }
         }
         let samples =
             vp.tslp
-                .probe_round_masked(net, &mut vp.sim, t, store, |ti| probe_mask[ti]);
+                .probe_round_masked(net, &mut vp.sim, t, |ti| probe_mask[ti]);
+        for &(ti, s) in &samples {
+            if let Some(rtt) = s.rtt_ms {
+                stage.sample(ti, s.end, s.t, rtt);
+            }
+        }
 
         let mut far_ok: HashMap<usize, bool> = HashMap::new();
         let mut near_ok: HashMap<usize, bool> = HashMap::new();
@@ -435,22 +391,12 @@ impl System {
                 // Response from the wrong address: renumbering or a moved
                 // route. Samples were already discarded; flag the window so
                 // any adjacent inference treats it as untrustworthy.
-                store.annotate(
-                    &series_key(&vp.handle.name, task, End::Far),
-                    t,
-                    t + ROUND_SECS,
-                    quality::RENUMBERED,
-                );
+                stage.annotate(ti, End::Far, t, t + ROUND_SECS, quality::RENUMBERED);
             } else if !ok && near_ok.get(&ti).copied().unwrap_or(false) {
                 // Far end dark while the near end (same path prefix, same
                 // probes) answers: the classic ICMP rate-limiting signature
                 // (§5.2), not path loss.
-                store.annotate(
-                    &series_key(&vp.handle.name, task, End::Far),
-                    t,
-                    t + ROUND_SECS,
-                    quality::SUSPECT_RATE_LIMITED,
-                );
+                stage.annotate(ti, End::Far, t, t + ROUND_SECS, quality::SUSPECT_RATE_LIMITED);
             }
         }
         if Self::note_round_health(vp, &samples, cfg.reactive_mismatch_rounds) {
@@ -468,7 +414,7 @@ impl System {
         let vp = &mut self.vps[vi];
         let mut targets = Vec::new();
         let Some(bdr) = &vp.bdrmap else { return 0 };
-        for task in &vp.tslp.tasks {
+        for (ti, task) in vp.tslp.tasks.iter().enumerate() {
             let Some(link) = bdr
                 .links
                 .iter()
@@ -479,14 +425,14 @@ impl System {
             if link.rel == LinkRel::Customer {
                 continue; // §3.3: only peers and providers
             }
-            let key = series_key(&vp.handle.name, task, End::Far);
+            let key = vp.tslp.key(ti, End::Far);
             let bins =
                 self.store
-                    .downsample_dense(&key, from, to, ROUND_SECS, Aggregate::Min);
+                    .downsample_dense(key, from, to, ROUND_SECS, Aggregate::Min);
             // Quality-masked detection: windows the control loop flagged
             // (quarantine gaps, renumbering, suspected rate limiting) must
             // yield *no inference*, not a fabricated level shift.
-            let qual = self.store.quality_dense(&key, from, to, ROUND_SECS);
+            let qual = self.store.quality_dense(key, from, to, ROUND_SECS);
             let shifts =
                 detect_level_shifts_masked(&bins, &qual, DEFAULT_REJECT, &self.cfg.levelshift);
             // Audit every verdict — congested or not — with the evidence it
@@ -574,10 +520,10 @@ impl System {
         use manic_bdrmap::infer::LinkRel;
         let vp = &self.vps[vi];
         let mut out = Vec::new();
-        for task in &vp.tslp.tasks {
+        for (ti, task) in vp.tslp.tasks.iter().enumerate() {
             let read = |end: End| {
-                let key = series_key(&vp.handle.name, task, end);
-                let pts = self.store.query(&key, now - lookback, now + 1);
+                let key = vp.tslp.key(ti, end);
+                let pts = self.store.query(key, now - lookback, now + 1);
                 let latest = pts.last().map(|p| p.v);
                 let baseline = pts
                     .iter()
@@ -692,6 +638,7 @@ impl System {
 mod tests {
     use super::*;
     use manic_netsim::time::{datetime_to_sim, Date};
+    use manic_probing::tslp::series_key;
     use manic_scenario::worlds::{toy, toy_asns};
 
     #[test]

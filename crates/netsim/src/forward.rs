@@ -91,6 +91,20 @@ pub struct HopObservation {
     pub direction: Direction,
 }
 
+/// Reusable buffers for path walks. Owned by [`SimState`] so every
+/// measurement driver gets an arena that lives as long as its probing state:
+/// once the vectors reach their high-water mark, `forward_path_into` /
+/// `record_route_into` stop allocating entirely (asserted by
+/// `tests/alloc_lean.rs`). Deliberately excluded from checkpoint
+/// serialization — scratch contents never outlive one call.
+#[derive(Debug, Default)]
+pub struct PathScratch {
+    /// Forward-leg hop walk.
+    pub hops: Vec<HopObservation>,
+    /// Reply-leg hop walk (alive at the same time as `hops`).
+    pub reply_hops: Vec<HopObservation>,
+}
+
 /// Mutable simulation state: ICMP rate limiter buckets and the draw counter
 /// feeding probe-level randomness. One `SimState` per measurement driver;
 /// probes must be issued in nondecreasing time order for rate limiting to be
@@ -99,6 +113,8 @@ pub struct HopObservation {
 pub struct SimState {
     limiters: HashMap<RouterId, RateLimiter>,
     counter: u64,
+    /// Reusable hop/slot buffers for allocation-lean path walks.
+    pub scratch: PathScratch,
 }
 
 impl SimState {
@@ -138,6 +154,7 @@ impl SimState {
                     (RouterId(r), RateLimiter::from_parts(f64::from_bits(bits), last))
                 })
                 .collect(),
+            scratch: PathScratch::default(),
         }
     }
 }
@@ -232,6 +249,23 @@ impl Network {
         flow_id: u16,
         t: SimTime,
     ) -> Vec<HopObservation> {
+        let mut out = Vec::new();
+        self.forward_path_into(src, dst, flow_id, t, &mut out);
+        out
+    }
+
+    /// [`Self::forward_path`] into a caller-owned buffer (cleared first).
+    /// With a reused buffer — e.g. [`SimState::scratch`] — steady-state
+    /// walks allocate nothing.
+    pub fn forward_path_into(
+        &self,
+        src: RouterId,
+        dst: Ipv4,
+        flow_id: u16,
+        t: SimTime,
+        out: &mut Vec<HopObservation>,
+    ) {
+        out.clear();
         let src_addr = self
             .topo
             .router(src)
@@ -239,7 +273,6 @@ impl Network {
             .first()
             .map(|&i| self.topo.iface(i).addr)
             .unwrap_or(Ipv4::UNSPECIFIED);
-        let mut out = Vec::new();
         let mut cur = src;
         for _ in 0..MAX_HOPS {
             if self.topo.terminates(cur, dst) {
@@ -253,7 +286,6 @@ impl Network {
             out.push(HopObservation { router: next, ingress_addr: ingress, link, direction: dir });
             cur = next;
         }
-        out
     }
 
     /// Cross one link: returns `Some(one-way delay in ms)` or `None` if the
@@ -384,38 +416,74 @@ impl Network {
         flow_id: u16,
         t: SimTime,
     ) -> Option<Vec<Ipv4>> {
-        const RR_SLOTS: usize = 9;
+        let mut state = SimState::new();
         let mut slots = Vec::new();
+        self.record_route_into(&mut state, src, src_addr, dst, ttl, flow_id, t, &mut slots)
+            .then_some(slots)
+    }
+
+    /// [`Self::record_route`] through the reusable walk buffers of `state`
+    /// and a caller-owned slot buffer (cleared first). Returns whether the
+    /// probe and its reply were routable; on `false` the partial `slots`
+    /// content is meaningless. Steady-state calls allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_route_into(
+        &self,
+        state: &mut SimState,
+        src: RouterId,
+        src_addr: Ipv4,
+        dst: Ipv4,
+        ttl: u8,
+        flow_id: u16,
+        t: SimTime,
+        slots: &mut Vec<Ipv4>,
+    ) -> bool {
+        const RR_SLOTS: usize = 9;
+        slots.clear();
         let push = |addr: Ipv4, slots: &mut Vec<Ipv4>| {
             if slots.len() < RR_SLOTS {
                 slots.push(addr);
             }
         };
-        // Forward leg until TTL expiry or termination.
-        let walk = self.forward_path(src, dst, flow_id, t);
-        if walk.is_empty() {
-            return None;
-        }
-        let take = (ttl as usize).min(walk.len());
-        for hop in &walk[..take] {
-            // The egress iface of the *previous* router is the peer of this
-            // hop's ingress iface.
-            let ingress = self.topo.iface_by_addr(hop.ingress_addr)?;
-            let egress = self.topo.peer_iface(ingress.id)?;
-            push(egress.addr, &mut slots);
-        }
-        let responder = walk[take - 1].router;
-        // Reply leg back to the VP.
-        let reply = self.forward_path(responder, src_addr, flow_id, t);
-        if reply.is_empty() || reply.last().map(|h| h.router) != Some(src) {
-            return None;
-        }
-        for hop in &reply {
-            let ingress = self.topo.iface_by_addr(hop.ingress_addr)?;
-            let egress = self.topo.peer_iface(ingress.id)?;
-            push(egress.addr, &mut slots);
-        }
-        Some(slots)
+        // Borrow the walk buffers out of the scratch arena (a `mem::take`
+        // swaps in empty vectors without allocating) so the arena and the
+        // network can be used independently below.
+        let mut walk = std::mem::take(&mut state.scratch.hops);
+        let mut reply = std::mem::take(&mut state.scratch.reply_hops);
+        let ok = (|| {
+            // Forward leg until TTL expiry or termination.
+            self.forward_path_into(src, dst, flow_id, t, &mut walk);
+            if walk.is_empty() {
+                return false;
+            }
+            let take = (ttl as usize).min(walk.len());
+            for hop in &walk[..take] {
+                // The egress iface of the *previous* router is the peer of
+                // this hop's ingress iface.
+                let Some(ingress) = self.topo.iface_by_addr(hop.ingress_addr) else {
+                    return false;
+                };
+                let Some(egress) = self.topo.peer_iface(ingress.id) else { return false };
+                push(egress.addr, slots);
+            }
+            let responder = walk[take - 1].router;
+            // Reply leg back to the VP.
+            self.forward_path_into(responder, src_addr, flow_id, t, &mut reply);
+            if reply.is_empty() || reply.last().map(|h| h.router) != Some(src) {
+                return false;
+            }
+            for hop in &reply {
+                let Some(ingress) = self.topo.iface_by_addr(hop.ingress_addr) else {
+                    return false;
+                };
+                let Some(egress) = self.topo.peer_iface(ingress.id) else { return false };
+                push(egress.addr, slots);
+            }
+            true
+        })();
+        state.scratch.hops = walk;
+        state.scratch.reply_hops = reply;
+        ok
     }
 
     /// Inject one probe at time `t` and resolve its fate.

@@ -31,6 +31,11 @@ impl End {
             End::Far => "far",
         }
     }
+
+    /// Index into per-task `[near, far]` pairs (the cached key array).
+    pub fn index(self) -> usize {
+        matches!(self, End::Far) as usize
+    }
 }
 
 /// A destination used to probe one link.
@@ -79,6 +84,9 @@ pub struct TslpSample {
 pub struct TslpProber {
     pub vp: VpHandle,
     pub tasks: Vec<TslpTask>,
+    /// Cached `[near, far]` tsdb keys per task, rebuilt whenever the task
+    /// set changes — the round hot path must not re-format key strings.
+    keys: Vec<[SeriesKey; 2]>,
     budget: RateBudget,
     metrics: crate::obs::VpTslpMetrics,
 }
@@ -95,7 +103,36 @@ pub const PROBE_TIMEOUT_MS: f64 = 3_000.0;
 impl TslpProber {
     pub fn new(vp: VpHandle, start: SimTime) -> Self {
         let metrics = crate::obs::VpTslpMetrics::for_vp(&vp.name);
-        TslpProber { vp, tasks: Vec::new(), budget: RateBudget::new(TSLP_PPS, start), metrics }
+        TslpProber {
+            vp,
+            tasks: Vec::new(),
+            keys: Vec::new(),
+            budget: RateBudget::new(TSLP_PPS, start),
+            metrics,
+        }
+    }
+
+    /// Replace the task set wholesale (checkpoint restore), rebuilding the
+    /// cached series keys.
+    pub fn set_tasks(&mut self, tasks: Vec<TslpTask>) {
+        self.tasks = tasks;
+        self.rebuild_keys();
+    }
+
+    /// The cached tsdb key for `(task, end)`. Valid as long as the task set
+    /// was installed through [`Self::update_targets`]/[`Self::set_tasks`].
+    pub fn key(&self, ti: usize, end: End) -> &SeriesKey {
+        debug_assert_eq!(self.keys.len(), self.tasks.len(), "stale key cache");
+        &self.keys[ti][end.index()]
+    }
+
+    fn rebuild_keys(&mut self) {
+        let vp = &self.vp.name;
+        self.keys = self
+            .tasks
+            .iter()
+            .map(|t| [series_key(vp, t, End::Near), series_key(vp, t, End::Far)])
+            .collect();
     }
 
     /// Install/update the probing set from fresh link→destination candidates
@@ -131,6 +168,7 @@ impl TslpProber {
             next.push(cand);
         }
         self.tasks = next;
+        self.rebuild_keys();
     }
 
     /// Execute one five-minute probing round in packet mode, writing samples
@@ -142,19 +180,26 @@ impl TslpProber {
         round_start: SimTime,
         store: &Store,
     ) -> Vec<(usize, TslpSample)> {
-        self.probe_round_masked(net, state, round_start, store, |_| true)
+        let out = self.probe_round_masked(net, state, round_start, |_| true);
+        for &(ti, sample) in &out {
+            if let Some(rtt) = sample.rtt_ms {
+                store.write(self.key(ti, sample.end), sample.t, rtt);
+            }
+        }
+        out
     }
 
     /// [`Self::probe_round`] restricted to tasks the health machine wants
     /// probed this round: `mask(ti)` decides per task index. Skipped tasks
     /// consume no probing budget and produce no samples — the caller is
-    /// responsible for annotating the resulting gap in the tsdb.
+    /// responsible for annotating the resulting gap in the tsdb. Samples are
+    /// returned, not persisted: in the parallel engine the caller stages them
+    /// and commits in VP order (see `manic-core`'s engine module).
     pub fn probe_round_masked(
         &mut self,
         net: &Network,
         state: &mut SimState,
         round_start: SimTime,
-        store: &Store,
         mask: impl Fn(usize) -> bool,
     ) -> Vec<(usize, TslpSample)> {
         let m = &self.metrics;
@@ -166,18 +211,18 @@ impl TslpProber {
         let (mut sent, mut answered, mut timed_out, mut mism, mut lost, mut skipped) =
             (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
         let mut out = Vec::new();
-        for ti in 0..self.tasks.len() {
+        let budget = &mut self.budget;
+        for (ti, task) in self.tasks.iter().enumerate() {
             if !mask(ti) {
                 skipped += 1;
                 continue;
             }
-            let task = self.tasks[ti].clone();
             for dest in &task.dests {
                 for (end, ttl, expect) in [
                     (End::Near, dest.near_ttl, task.near_ip),
                     (End::Far, dest.far_ttl, task.far_ip),
                 ] {
-                    let t = self.budget.next_slot(round_start);
+                    let t = budget.next_slot(round_start);
                     let status = net.send_probe(
                         state,
                         ProbeSpec {
@@ -212,9 +257,6 @@ impl TslpProber {
                             TslpSample { t, end, rtt_ms: None, mismatched: false }
                         }
                     };
-                    if let Some(rtt) = sample.rtt_ms {
-                        store.write(&series_key(&self.vp.name, &task, end), t, rtt);
-                    }
                     out.push((ti, sample));
                 }
             }

@@ -185,9 +185,7 @@ impl Store {
         let mut shard = self.shard(key).write().unwrap();
         let series = shard.entry(key.clone()).or_default();
         if let Some(wal) = self.wal.get() {
-            for p in points {
-                wal.append_sample(key, &series.wal_key_token, *p);
-            }
+            wal.append_samples(key, &series.wal_key_token, points);
         }
         let mut newest: Option<Point> = None;
         for p in points {

@@ -631,6 +631,70 @@ impl Wal {
         }
     }
 
+    /// Batched [`Self::append_sample`]: all of `points` land in the staging
+    /// buffer under a single stage-lock acquisition, with one flush check at
+    /// the end. Byte-identical to appending the points one by one.
+    pub fn append_samples(&self, key: &SeriesKey, token: &OnceLock<u32>, points: &[Point]) {
+        if points.is_empty() {
+            return;
+        }
+        let Some(tx) = &self.tx else {
+            // Synchronous (`always`) mode fsyncs per record anyway; the
+            // batching win is irrelevant there.
+            for p in points {
+                self.append(WalRecord::Sample { key: key.clone(), point: *p });
+            }
+            return;
+        };
+        let id = match token.get() {
+            Some(&id) => id,
+            None => match format_key(key) {
+                Ok(s) => {
+                    let mut tokens = self.shared.tokens.lock().unwrap();
+                    let id = tokens.len() as u32;
+                    tokens.push(s.into());
+                    drop(tokens);
+                    // A racing registration wastes one registry slot; both
+                    // slots hold the same token text, so either id encodes
+                    // identically.
+                    *token.get_or_init(|| id)
+                }
+                Err(_) => {
+                    metrics().wal_write_errors.inc();
+                    return;
+                }
+            },
+        };
+        let mut stage = self.stage.lock().unwrap();
+        let bin = match stage.last_mut() {
+            Some(Msg::Bin(b)) => b,
+            _ => {
+                stage.push(Msg::Bin(Vec::with_capacity(STAGE_SAMPLE_BYTES)));
+                let Some(Msg::Bin(b)) = stage.last_mut() else { unreachable!() };
+                b
+            }
+        };
+        for point in points {
+            if !point.v.is_finite() {
+                // Mirrors `format_line`'s rejection on the text path.
+                metrics().wal_write_errors.inc();
+                continue;
+            }
+            let mut entry = [0u8; SAMPLE_ENTRY];
+            entry[..4].copy_from_slice(&id.to_le_bytes());
+            entry[4..12].copy_from_slice(&point.t.to_le_bytes());
+            entry[12..].copy_from_slice(&point.v.to_bits().to_le_bytes());
+            bin.extend_from_slice(&entry);
+        }
+        if bin.len() >= STAGE_SAMPLE_BYTES {
+            let batch = std::mem::take(&mut *stage);
+            drop(stage);
+            if tx.send(batch).is_err() {
+                metrics().wal_write_errors.inc();
+            }
+        }
+    }
+
     /// Append many records with a single group-commit decision.
     pub fn append_batch(&self, recs: Vec<WalRecord>) {
         if recs.is_empty() {

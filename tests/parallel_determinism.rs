@@ -1,0 +1,163 @@
+//! Determinism gate for the parallel round engine: the thread count is a
+//! pure throughput knob. For any `--threads N`, a measurement window must
+//! produce a byte-identical store (content hash, series and point counts),
+//! identical congestion verdicts, and an identical durable checkpoint /
+//! resume trajectory as the serial engine — with and without a chaos fault
+//! schedule running against the world.
+//!
+//! The parallel leg's thread count defaults to 8 and can be overridden with
+//! `MANIC_TEST_THREADS` so CI can sweep the matrix (2, 8, ...).
+
+use manic_core::{resume, Durable, DurabilityConfig, System, SystemConfig};
+use manic_netsim::time::{date_to_sim, Date};
+use manic_netsim::FaultSchedule;
+use manic_scenario::worlds::toy;
+use manic_tsdb::wal::FsyncPolicy;
+use std::path::PathBuf;
+
+const SEED: u64 = 42;
+
+fn test_threads() -> usize {
+    std::env::var("MANIC_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(8)
+}
+
+fn sys_with_threads(threads: usize) -> System {
+    let mut sys = System::new(toy(SEED), SystemConfig::default());
+    sys.cfg.threads = threads;
+    sys
+}
+
+fn install_chaos(sys: &mut System, from: i64, until: i64) {
+    let vp_routers: Vec<_> = sys.world.vps.iter().map(|v| v.router).collect();
+    let chaos =
+        FaultSchedule::chaos(1312, 0.6, &sys.world.net.topo, &vp_routers, from, until);
+    assert!(!chaos.is_empty(), "chaos schedule generated no events");
+    for &e in chaos.events() {
+        sys.world.net.fault.push(e);
+    }
+}
+
+/// Sorted far-IP verdicts across every VP, as the CLI summary reports them.
+fn verdicts(sys: &mut System, from: i64, to: i64) -> Vec<String> {
+    let mut out = Vec::new();
+    for vi in 0..sys.vps.len() {
+        sys.arm_reactive_loss(vi, from, to);
+        out.extend(sys.vps[vi].loss.targets.iter().map(|t| t.far_ip.to_string()));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+struct Fingerprint {
+    hash: u64,
+    series: usize,
+    points: usize,
+    verdicts: Vec<String>,
+}
+
+fn fingerprint(sys: &mut System, from: i64, to: i64) -> Fingerprint {
+    Fingerprint {
+        hash: sys.store.content_hash(),
+        series: sys.store.series_count(),
+        points: sys.store.point_count(),
+        verdicts: verdicts(sys, from, to),
+    }
+}
+
+fn assert_identical(serial: &Fingerprint, parallel: &Fingerprint, label: &str) {
+    assert_eq!(
+        serial.hash, parallel.hash,
+        "{label}: store content hash diverged (serial {:016x} vs parallel {:016x})",
+        serial.hash, parallel.hash
+    );
+    assert_eq!(serial.series, parallel.series, "{label}: series count diverged");
+    assert_eq!(serial.points, parallel.points, "{label}: point count diverged");
+    assert_eq!(serial.verdicts, parallel.verdicts, "{label}: verdicts diverged");
+}
+
+fn run_pair(chaos: bool, label: &str) {
+    let from = date_to_sim(Date::new(2017, 3, 1));
+    let to = from + 6 * 3600;
+    let threads = test_threads();
+
+    let mut serial = sys_with_threads(1);
+    let mut parallel = sys_with_threads(threads);
+    if chaos {
+        install_chaos(&mut serial, from, to);
+        install_chaos(&mut parallel, from, to);
+    }
+
+    let r1 = serial.run_packet_mode(from, to);
+    let rn = parallel.run_packet_mode(from, to);
+    assert_eq!(r1, rn, "{label}: round counts diverged");
+
+    let f1 = fingerprint(&mut serial, from, to);
+    let fn_ = fingerprint(&mut parallel, from, to);
+    assert!(f1.points > 0, "{label}: serial run produced no samples");
+    assert_identical(&f1, &fn_, label);
+}
+
+#[test]
+fn parallel_matches_serial() {
+    run_pair(false, "clean world");
+}
+
+#[test]
+fn parallel_matches_serial_under_chaos() {
+    run_pair(true, "chaos world");
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir()
+        .join(format!("manic-par-det-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Kill a parallel durable run between checkpoints, resume it serially, and
+/// require the finished window to match an uninterrupted serial in-memory
+/// run. Crossing thread counts across the kill is the point: the WAL tail
+/// written by 8 workers must replay into the exact state 1 worker rebuilds.
+#[test]
+fn kill_parallel_resume_serial_matches() {
+    let from = date_to_sim(Date::new(2017, 3, 1));
+    let to = from + 6 * 3600;
+    let mid = from + 4 * 3600 + 20 * 60; // between 12-round checkpoints
+    let dcfg = DurabilityConfig {
+        fsync: FsyncPolicy::EveryN(64),
+        checkpoint_every_rounds: 12,
+        ..DurabilityConfig::default()
+    };
+
+    // Reference: uninterrupted serial run, entirely in memory.
+    let mut ref_sys = sys_with_threads(1);
+    ref_sys.run_packet_mode(from, to);
+    let ref_fp = fingerprint(&mut ref_sys, from, to);
+    drop(ref_sys);
+
+    // Durable run at N threads, killed mid-window with a WAL tail pending.
+    let dir = tmpdir("world");
+    let mut sys = sys_with_threads(test_threads());
+    let mut durable = Durable::create(&sys, "toy", SEED, &dir, from, to, dcfg.clone())
+        .expect("create durable");
+    durable.run_window(&mut sys, mid, &|| false).expect("run to kill point");
+    drop(durable);
+    drop(sys);
+
+    // Resume serially and finish the window.
+    let (mut sys2, mut durable2, info) = resume(&dir, Some(dcfg)).expect("resume");
+    assert!(info.store_hash_ok, "restored snapshot hash verified");
+    sys2.cfg.threads = 1;
+    durable2.run_window(&mut sys2, to, &|| false).expect("run to window end");
+    durable2.finalize(&sys2, to).expect("final checkpoint");
+
+    let res_fp = fingerprint(&mut sys2, from, to);
+    assert_identical(&ref_fp, &res_fp, "kill@parallel/resume@serial");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
