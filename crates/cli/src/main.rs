@@ -139,6 +139,9 @@ struct Args {
     resume: bool,
     /// `--threads N`: round-engine worker threads (default: all cores).
     threads: usize,
+    /// `--storage-faults <seed>:<kinds|all>`: inject disk faults into the
+    /// durable layer (torture harness; kinds are `eio+enospc+torn+lie+flip`).
+    storage_faults: Option<String>,
 }
 
 impl Args {
@@ -162,6 +165,7 @@ impl Args {
             checkpoint_every: 12,
             resume: false,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            storage_faults: None,
         };
         while let Some(flag) = argv.next() {
             let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
@@ -190,6 +194,7 @@ impl Args {
                     args.checkpoint_every = num("--checkpoint-every", val()?)?
                 }
                 "--resume" => args.resume = true,
+                "--storage-faults" => args.storage_faults = Some(val()?),
                 "--threads" => args.threads = num("--threads", val()?)?,
                 "--quiet" => args.quiet = true,
                 "--verbosity" => {
@@ -241,6 +246,16 @@ impl Args {
                 flag: "--checkpoint-every",
                 reason: "must be at least 1 round".into(),
             });
+        }
+        if let Some(spec) = &args.storage_faults {
+            if manic_vfs::DiskFaultPlan::parse_spec(spec).is_none() {
+                return Err(CliError::InvalidValue {
+                    flag: "--storage-faults",
+                    reason: format!(
+                        "'{spec}' is not <seed>:<eio|enospc|torn|lie|flip[+..]|all>"
+                    ),
+                });
+            }
         }
         // A malformed listen address should fail argument parsing, not
         // surface later as a bind error from inside the server.
@@ -310,11 +325,13 @@ fn main() -> ExitCode {
             eprintln!("  manic serve  [--addr HOST:PORT] [--hours H] [--snapshot-interval SECS]");
             eprintln!("  manic run    [--hours H] [--data-dir DIR] [--durability P] [--resume]");
             eprintln!("               [--threads N]   (N workers; results identical for any N)");
-            eprintln!("  manic recover <data-dir>");
+            eprintln!("  manic recover <data-dir>   (exit 0 clean, 3 recoverable damage, 1 fatal)");
             eprintln!("global flags: --verbosity trace|debug|info|warn|error, --quiet,");
             eprintln!("              --threads N (round-engine workers, default: all cores)");
             eprintln!("durability:   --data-dir DIR, --durability always|every-<n>|never,");
-            eprintln!("              --checkpoint-every ROUNDS, --resume");
+            eprintln!("              --checkpoint-every ROUNDS, --resume,");
+            eprintln!("              --storage-faults <seed>:<eio|enospc|torn|lie|flip[+..]|all>");
+            eprintln!("              (inject seeded disk faults into the storage layer; testing)");
             ExitCode::FAILURE
         }
     }
@@ -359,10 +376,19 @@ fn run(cmd: &str, args: Args) -> Result<(), CliError> {
 /// Build the core durability config from the parsed flags (already
 /// validated by [`Args::parse`]).
 fn durability_config(args: &Args) -> manic_core::DurabilityConfig {
+    let vfs: std::sync::Arc<dyn manic_vfs::Vfs> = match &args.storage_faults {
+        None => manic_vfs::real(),
+        Some(spec) => {
+            let plan =
+                manic_vfs::DiskFaultPlan::parse_spec(spec).expect("validated at parse time");
+            std::sync::Arc::new(manic_vfs::FaultVfs::new(plan))
+        }
+    };
     manic_core::DurabilityConfig {
         fsync: manic_tsdb::FsyncPolicy::parse(&args.durability)
             .expect("validated at parse time"),
         checkpoint_every_rounds: args.checkpoint_every,
+        vfs,
         ..manic_core::DurabilityConfig::default()
     }
 }
@@ -473,7 +499,12 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
 }
 
 /// `manic recover <data-dir>` — read-only report of what a `--resume` from
-/// this directory would restore. Exits non-zero on a store-hash mismatch.
+/// this directory would restore, walking the same generation-fallback /
+/// snapshot-healing chain a real resume uses.
+///
+/// Exit codes: 0 = clean (nothing to work around); 3 = corruption found but
+/// a resume would recover (fallback, heal, or quarantined WAL ranges);
+/// 1 = unrecoverable (no generation restores).
 fn cmd_recover(args: Args) -> Result<(), CliError> {
     if args.positional.len() > 1 {
         return Err(CliError::UnexpectedArg(args.positional[1].clone()));
@@ -498,7 +529,13 @@ fn cmd_recover(args: Args) -> Result<(), CliError> {
         rep.series,
         rep.points,
         rep.store_hash,
-        if rep.store_hash_ok { "hash ok" } else { "HASH MISMATCH" }
+        if rep.store_hash_ok {
+            "hash ok"
+        } else if rep.storage.healed_snapshot {
+            "hash rebuilt around quarantined WAL ranges"
+        } else {
+            "HASH MISMATCH"
+        }
     );
     println!("  snapshot records: {}", rep.snapshot_records);
     println!(
@@ -506,10 +543,35 @@ fn cmd_recover(args: Args) -> Result<(), CliError> {
          regenerated deterministically on resume)",
         rep.tail_records, rep.tail_torn, rep.tail_decode_errors
     );
-    if !rep.store_hash_ok {
+    let s = &rep.storage;
+    if s.clean() {
+        println!("  storage: clean");
+    } else {
+        println!(
+            "  storage: fallback_generations={} bad_metas={} healed_snapshot={} \
+             quarantined_frames={} quarantined_bytes={} gap_windows={}",
+            s.fallback_generations,
+            s.bad_metas,
+            s.healed_snapshot,
+            s.quarantined_frames,
+            s.quarantined_bytes,
+            s.gap_windows
+        );
+        for note in &s.notes {
+            println!("    - {note}");
+        }
+    }
+    if !rep.store_hash_ok && !s.healed_snapshot {
         return Err(CliError::Durability(
             "restored store hash does not match the checkpoint".into(),
         ));
+    }
+    if !s.clean() {
+        // Distinct from failure (1): the directory is damaged but a resume
+        // recovers. Scripts can branch on it.
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::process::exit(3);
     }
     Ok(())
 }
@@ -549,6 +611,7 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
                     manic_core::resume(&dir, Some(cfg)).map_err(durability_err)?;
                 sys.cfg.threads = args.threads;
                 status.note_recovery(info.rounds, info.tail_discarded, info.recovery_ms);
+                status.note_storage_findings(&info.storage);
                 println!(
                     "resumed: world '{}' seed {} rounds={} tail_discarded={} \
                      recovered_in_ms={:.1}",
@@ -622,6 +685,7 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
                                 st.note_progress(d.rounds());
                                 let (cr, ct) = d.last_checkpoint();
                                 st.note_checkpoint(cr, ct);
+                                st.set_storage_degraded(d.wal().degraded());
                             }
                         }
                         None => {
@@ -1053,6 +1117,16 @@ mod tests {
         assert!(matches!(
             parse(&["run", "--checkpoint-every", "0"]),
             Err(CliError::InvalidValue { flag: "--checkpoint-every", .. })
+        ));
+        let (_, a) = parse(&["run", "--storage-faults", "7:torn+flip"]).unwrap();
+        assert_eq!(a.storage_faults.as_deref(), Some("7:torn+flip"));
+        assert!(matches!(
+            parse(&["run", "--storage-faults", "7:everything"]),
+            Err(CliError::InvalidValue { flag: "--storage-faults", .. })
+        ));
+        assert!(matches!(
+            parse(&["run", "--storage-faults", "noseed"]),
+            Err(CliError::InvalidValue { flag: "--storage-faults", .. })
         ));
         // `recover` takes its data dir positionally; `run` rejects strays.
         let (cmd, a) = parse(&["recover", "/tmp/x"]).unwrap();

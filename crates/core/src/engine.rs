@@ -60,6 +60,13 @@ impl StagedOps {
         self.annots.push((ti as u32, end, from, until, flags));
     }
 
+    /// Drop everything staged so far (a panicked round must contribute
+    /// nothing to the store).
+    fn discard(&mut self) {
+        self.samples.clear();
+        self.annots.clear();
+    }
+
     /// Replay the staged round against the store and clear the buffers.
     /// Samples arrive grouped by task, so each task's near/far runs become
     /// one `write_batch` per series (one shard-lock acquisition, one WAL
@@ -157,7 +164,78 @@ fn vp_round(
         );
         return;
     }
+    if world.net.fault.vp_panics(vp.handle.router, t) {
+        panic!("injected VP worker panic ({})", vp.handle.name);
+    }
     System::round_with_health(vp, &world.net, cfg, t, stage);
+}
+
+/// [`vp_round`] under supervision: the worker is isolated with
+/// `catch_unwind`, so one VP crashing (or blowing the optional wall-clock
+/// deadline) costs that VP a strike — quarantine with backoff, retirement
+/// after too many — instead of tearing down the whole round.
+///
+/// Determinism: a panic at time `t` is itself deterministic (the injected
+/// kind is a pure function of `(router, t)`, and a real one reproduces from
+/// the same VP state), and the partially staged ops of a panicked round are
+/// discarded wholesale — so every thread count sees the same store bytes.
+/// The watchdog path is the exception: it reacts to *wall-clock* overrun
+/// and is therefore off by default (`round_deadline_ms: None`), an
+/// operational safety net rather than part of the reproducibility contract.
+fn supervised_vp_round(
+    world: &World,
+    cfg: &SystemConfig,
+    vp: &mut VpRuntime,
+    stage: &mut StagedOps,
+    t: SimTime,
+    cycle_secs: i64,
+) {
+    if !vp.supervisor.may_run(t) {
+        return;
+    }
+    let deadline = cfg.supervisor.round_deadline_ms;
+    let started = deadline.map(|_| std::time::Instant::now());
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        vp_round(world, cfg, vp, stage, t, cycle_secs)
+    }));
+    match outcome {
+        Ok(()) => {
+            if let (Some(limit), Some(started)) = (deadline, started) {
+                if started.elapsed().as_millis() as u64 > limit {
+                    crate::obs::metrics().watchdog_timeouts.inc();
+                    let to = vp.supervisor.strike(t, &cfg.supervisor);
+                    crate::obs::metrics().health_transition(to).inc();
+                    manic_obs::event!(
+                        manic_obs::WARN, "core", "vp_watchdog_overrun", t,
+                        vp = vp.handle.name.as_str(),
+                        deadline_ms = limit,
+                        strikes = vp.supervisor.strikes,
+                        state = to.as_str(),
+                    );
+                }
+            }
+        }
+        Err(payload) => {
+            // Nothing from the crashed round may reach the store: a panic
+            // mid-probe leaves half a round staged.
+            stage.discard();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            crate::obs::metrics().vp_panics.inc();
+            let to = vp.supervisor.strike(t, &cfg.supervisor);
+            crate::obs::metrics().health_transition(to).inc();
+            manic_obs::event!(
+                manic_obs::ERROR, "core", "vp_worker_panicked", t,
+                vp = vp.handle.name.as_str(),
+                panic = msg.as_str(),
+                strikes = vp.supervisor.strikes,
+                state = to.as_str(),
+            );
+        }
+    }
 }
 
 /// Drive rounds over `[from, to)`; returns the number of rounds executed.
@@ -179,7 +257,7 @@ pub(crate) fn run_rounds(sys: &mut System, from: SimTime, to: SimTime) -> usize 
         while t < to {
             let round_started = std::time::Instant::now();
             for (vp, stage) in vps.iter_mut().zip(stages.iter_mut()) {
-                vp_round(world, cfg, vp, stage, t, cycle_secs);
+                supervised_vp_round(world, cfg, vp, stage, t, cycle_secs);
             }
             let m = crate::obs::metrics();
             let commit_started = std::time::Instant::now();
@@ -226,7 +304,7 @@ pub(crate) fn run_rounds(sys: &mut System, from: SimTime, to: SimTime) -> usize 
                     }
                     let mut slot = slots[i].lock().unwrap();
                     let (vp, stage) = &mut *slot;
-                    vp_round(world, cfg, vp, stage, t, cycle_secs);
+                    supervised_vp_round(world, cfg, vp, stage, t, cycle_secs);
                 }
                 barrier.wait();
             });

@@ -234,6 +234,109 @@ impl TaskHealth {
     }
 }
 
+/// Worker-supervision thresholds: what a panicking or deadline-blowing VP
+/// round costs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Strikes beyond this retire the VP (panics are not transient noise:
+    /// a worker that keeps crashing on the same state will keep crashing).
+    pub max_strikes: u32,
+    /// First quarantine backoff; doubles per strike.
+    pub base_backoff_secs: i64,
+    /// Backoff ceiling.
+    pub max_backoff_secs: i64,
+    /// Per-VP round deadline in wall-clock milliseconds; a round that
+    /// overruns it counts as a watchdog strike. `None` disables the
+    /// watchdog (the default — wall-clock deadlines are inherently
+    /// non-deterministic, so they are an operational safety net, not part
+    /// of the reproducibility contract).
+    pub round_deadline_ms: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_strikes: 3,
+            base_backoff_secs: 1_800,
+            max_backoff_secs: 12 * 3_600,
+            round_deadline_ms: None,
+        }
+    }
+}
+
+/// Supervision state of one VP worker: strike-based quarantine with
+/// exponential backoff, mirroring the per-task [`TaskHealth`] machine one
+/// level up. A caught panic (or a watchdog overrun) is a strike; a struck
+/// VP sits out rounds until its backoff expires, and too many strikes
+/// retire it until the operator intervenes.
+#[derive(Debug, Clone)]
+pub struct VpSupervisor {
+    /// Panics / watchdog overruns since the VP was created (or restored).
+    pub strikes: u32,
+    /// While quarantined: do not run rounds before this sim time.
+    pub quarantined_until: SimTime,
+    /// Current backoff length (doubles per strike).
+    backoff_secs: i64,
+    /// Struck out: the VP no longer runs rounds at all.
+    pub retired: bool,
+}
+
+impl Default for VpSupervisor {
+    fn default() -> Self {
+        VpSupervisor {
+            strikes: 0,
+            quarantined_until: SimTime::MIN,
+            backoff_secs: 0,
+            retired: false,
+        }
+    }
+}
+
+impl VpSupervisor {
+    pub fn new() -> Self {
+        VpSupervisor::default()
+    }
+
+    /// May this VP's round run at `t`?
+    pub fn may_run(&self, t: SimTime) -> bool {
+        !self.retired && t >= self.quarantined_until
+    }
+
+    /// Is the VP currently being held out (quarantined or retired)?
+    pub fn is_isolated(&self, t: SimTime) -> bool {
+        !self.may_run(t)
+    }
+
+    /// Record one strike at `t`. Returns the state the VP lands in
+    /// ([`HealthState::Quarantined`] or [`HealthState::Retired`]) so the
+    /// caller can meter the transition.
+    pub fn strike(&mut self, t: SimTime, cfg: &SupervisorConfig) -> HealthState {
+        self.strikes += 1;
+        if self.strikes > cfg.max_strikes {
+            self.retired = true;
+            return HealthState::Retired;
+        }
+        self.backoff_secs = if self.backoff_secs == 0 {
+            cfg.base_backoff_secs
+        } else {
+            (self.backoff_secs * 2).min(cfg.max_backoff_secs)
+        };
+        self.quarantined_until = t + self.backoff_secs;
+        HealthState::Quarantined
+    }
+
+    /// Checkpoint serialization: `(strikes, quarantined_until,
+    /// backoff_secs, retired)`.
+    pub fn to_parts(&self) -> (u32, SimTime, i64, bool) {
+        (self.strikes, self.quarantined_until, self.backoff_secs, self.retired)
+    }
+
+    /// Rebuild from [`Self::to_parts`] output.
+    pub fn from_parts(strikes: u32, quarantined_until: SimTime, backoff_secs: i64, retired: bool) -> Self {
+        VpSupervisor { strikes, quarantined_until, backoff_secs, retired }
+    }
+}
+
 /// Bounded-retry backoff for a whole bdrmap cycle: when a cycle produces an
 /// empty probing set (the VP's view collapsed — uplink outage, first-hop
 /// reboot), retry on an exponential schedule instead of hammering or

@@ -24,7 +24,10 @@ pub mod longitudinal;
 pub(crate) mod obs;
 pub mod system;
 
-pub use checkpoint::{recover_report, resume, Durable, DurabilityConfig, RecoverReport, ResumeInfo};
-pub use health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};
+pub use checkpoint::{
+    recover_report, recover_report_with, resume, Durable, DurabilityConfig, RecoverReport,
+    ResumeInfo, StorageFindings,
+};
+pub use health::{CycleBackoff, HealthConfig, HealthState, SupervisorConfig, TaskHealth, VpSupervisor};
 pub use longitudinal::{run_longitudinal, run_longitudinal_detailed, LinkDays, LongitudinalConfig, LongitudinalOutput, VpLinkDays};
 pub use system::{LinkStatus, System, SystemConfig, TaskHealthStatus, VpRuntime};

@@ -54,6 +54,17 @@ pub(crate) struct Metrics {
     /// Successful resumes from a checkpoint, and how long recovery took.
     pub recoveries: Counter,
     pub recovery_ms: Histogram,
+    /// Periodic checkpoint writes that failed (run continues on the last
+    /// good generation) / resume attempts that had to fall back a
+    /// checkpoint generation / corrupt snapshots healed by replaying an
+    /// older generation's snapshot plus further WAL.
+    pub checkpoint_errors: Counter,
+    pub generation_fallbacks: Counter,
+    pub snapshot_heals: Counter,
+    /// VP workers whose round panicked (caught and quarantined) / rounds
+    /// whose watchdog deadline expired before every worker finished.
+    pub vp_panics: Counter,
+    pub watchdog_timeouts: Counter,
 }
 
 impl Metrics {
@@ -98,6 +109,11 @@ pub(crate) fn metrics() -> &'static Metrics {
             checkpoint_write_ms: r.histogram("manic_core_checkpoint_write_ms"),
             recoveries: r.counter("manic_core_checkpoint_recoveries"),
             recovery_ms: r.histogram("manic_core_checkpoint_recovery_ms"),
+            checkpoint_errors: r.counter("manic_core_checkpoint_errors"),
+            generation_fallbacks: r.counter("manic_core_generation_fallbacks"),
+            snapshot_heals: r.counter("manic_core_snapshot_heals"),
+            vp_panics: r.counter("manic_core_vp_panics"),
+            watchdog_timeouts: r.counter("manic_core_watchdog_timeouts"),
         }
     })
 }

@@ -1,6 +1,6 @@
 //! System orchestration: VPs, probing state, measurement scheduling.
 
-use crate::health::{CycleBackoff, HealthConfig, HealthState, TaskHealth};
+use crate::health::{CycleBackoff, HealthConfig, HealthState, SupervisorConfig, TaskHealth, VpSupervisor};
 use manic_bdrmap::{infer, BdrmapResult};
 use manic_inference::{detect_level_shifts_masked, LevelShiftConfig, DEFAULT_REJECT};
 use manic_netsim::time::SimTime;
@@ -29,6 +29,8 @@ pub struct SystemConfig {
     pub reactive_mismatch_rounds: u32,
     /// Per-task health machine thresholds (degrade / quarantine / retire).
     pub health: HealthConfig,
+    /// Worker-supervision thresholds: panic/watchdog strikes per VP.
+    pub supervisor: SupervisorConfig,
     /// Worker threads for the round engine. 1 = serial; anything higher
     /// fans VPs out across a fixed pool. Every value produces byte-identical
     /// stores (see DESIGN.md §5g), so this is purely a throughput knob.
@@ -44,6 +46,7 @@ impl Default for SystemConfig {
             max_loss_targets: 30,
             reactive_mismatch_rounds: 3,
             health: HealthConfig::default(),
+            supervisor: SupervisorConfig::default(),
             threads: 1,
         }
     }
@@ -69,6 +72,9 @@ pub struct VpRuntime {
     pub health: std::collections::HashMap<(Ipv4, Ipv4), TaskHealth>,
     /// Bounded-retry schedule for failed (empty) bdrmap cycles.
     pub cycle_backoff: CycleBackoff,
+    /// Worker supervision: strikes from caught panics / watchdog overruns,
+    /// and the quarantine they impose.
+    pub supervisor: VpSupervisor,
     /// Whether the VP is currently hosted. §3: "Due to the volunteer-based
     /// nature of Ark VP hosting, there is churn in the set of usable VPs"
     /// (86 over the study, 63 by December 2017). Retired VPs stop probing;
@@ -140,6 +146,7 @@ impl System {
                 stale_rounds: std::collections::HashMap::new(),
                 health: std::collections::HashMap::new(),
                 cycle_backoff: CycleBackoff::default(),
+                supervisor: VpSupervisor::new(),
                 active: true,
             })
             .collect();

@@ -65,6 +65,12 @@ pub enum FaultKind {
     /// Clock error at the scoped source router: every RTT it reports gains a
     /// constant offset.
     ClockSkew { ms: f64 },
+    /// The measurement worker for the VP hosted at the scoped router crashes
+    /// (panics) when it runs a round inside the window — a stand-in for the
+    /// probing process dying on a hostile host. The substrate does not act
+    /// on this; the round engine polls [`FaultSchedule::vp_panics`] and its
+    /// supervisor turns the panic into quarantine instead of a dead run.
+    VpPanic,
 }
 
 /// One timed fault: `kind` applied to `scope` over `[from, until)`.
@@ -108,6 +114,7 @@ impl FaultKind {
             FaultKind::Renumber { .. } => 1 << 5,
             FaultKind::VpRetirement => 1 << 6,
             FaultKind::ClockSkew { .. } => 1 << 7,
+            FaultKind::VpPanic => 1 << 8,
         }
     }
 }
@@ -357,6 +364,15 @@ impl FaultSchedule {
         self.has(FaultKind::VpRetirement.bit())
             && self.covering_router(router).any(|e| {
                 matches!(e.kind, FaultKind::VpRetirement) && t >= e.from
+            })
+    }
+
+    /// Does the worker for the VP hosted at `router` panic if it runs a
+    /// round at `t`?
+    pub fn vp_panics(&self, router: RouterId, t: SimTime) -> bool {
+        self.has(FaultKind::VpPanic.bit())
+            && self.covering_router(router).any(|e| {
+                matches!(e.kind, FaultKind::VpPanic) && e.active(t)
             })
     }
 

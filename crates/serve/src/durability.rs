@@ -31,6 +31,17 @@ pub struct DurabilityStatus {
     checkpoint_t: AtomicI64,
     /// Rounds executed so far (checkpointed or not).
     rounds: AtomicU64,
+    /// WAL is in ENOSPC-degraded mode (raw samples shed, verdict-critical
+    /// records still persisted).
+    storage_degraded: AtomicBool,
+    /// Corruption findings from the resume path (see
+    /// [`manic_core::StorageFindings`]).
+    fallback_generations: AtomicU64,
+    bad_metas: AtomicU64,
+    healed_snapshot: AtomicBool,
+    quarantined_frames: AtomicU64,
+    quarantined_bytes: AtomicU64,
+    gap_windows: AtomicU64,
 }
 
 impl DurabilityStatus {
@@ -44,6 +55,13 @@ impl DurabilityStatus {
             checkpoint_rounds: AtomicU64::new(0),
             checkpoint_t: AtomicI64::new(0),
             rounds: AtomicU64::new(0),
+            storage_degraded: AtomicBool::new(false),
+            fallback_generations: AtomicU64::new(0),
+            bad_metas: AtomicU64::new(0),
+            healed_snapshot: AtomicBool::new(false),
+            quarantined_frames: AtomicU64::new(0),
+            quarantined_bytes: AtomicU64::new(0),
+            gap_windows: AtomicU64::new(0),
         }
     }
 
@@ -69,6 +87,22 @@ impl DurabilityStatus {
         self.rounds.fetch_max(rounds, Ordering::Relaxed);
     }
 
+    /// Record the corruption findings the resume path worked around.
+    pub fn note_storage_findings(&self, f: &manic_core::StorageFindings) {
+        self.fallback_generations.store(f.fallback_generations, Ordering::Relaxed);
+        self.bad_metas.store(f.bad_metas, Ordering::Relaxed);
+        self.healed_snapshot.store(f.healed_snapshot, Ordering::Relaxed);
+        self.quarantined_frames.store(f.quarantined_frames, Ordering::Relaxed);
+        self.quarantined_bytes.store(f.quarantined_bytes, Ordering::Relaxed);
+        self.gap_windows.store(f.gap_windows, Ordering::Relaxed);
+    }
+
+    /// Track the WAL's ENOSPC-degraded mode (polled by the measurement
+    /// loop; flips back to `false` once appends succeed again).
+    pub fn set_storage_degraded(&self, degraded: bool) {
+        self.storage_degraded.store(degraded, Ordering::Relaxed);
+    }
+
     /// Rounds of work a crash right now would have to re-execute.
     pub fn lag_rounds(&self) -> u64 {
         self.rounds
@@ -82,7 +116,10 @@ impl DurabilityStatus {
         format!(
             "{{\"enabled\":true,\"policy\":\"{}\",\"resumed\":{},\
              \"recovered_rounds\":{},\"tail_discarded\":{},\"recovery_ms\":{:.3},\
-             \"checkpoint_rounds\":{},\"checkpoint_t\":{},\"rounds\":{},\"lag_rounds\":{}}}",
+             \"checkpoint_rounds\":{},\"checkpoint_t\":{},\"rounds\":{},\"lag_rounds\":{},\
+             \"storage\":{{\"degraded\":{},\"fallback_generations\":{},\"bad_metas\":{},\
+             \"healed_snapshot\":{},\"quarantined_frames\":{},\"quarantined_bytes\":{},\
+             \"gap_windows\":{},\"checkpoint_generation\":{}}}}}",
             manic_obs::json_escape(&self.policy),
             self.resumed.load(Ordering::Relaxed),
             self.recovered_rounds.load(Ordering::Relaxed),
@@ -92,6 +129,14 @@ impl DurabilityStatus {
             self.checkpoint_t.load(Ordering::Relaxed),
             self.rounds.load(Ordering::Relaxed),
             self.lag_rounds(),
+            self.storage_degraded.load(Ordering::Relaxed),
+            self.fallback_generations.load(Ordering::Relaxed),
+            self.bad_metas.load(Ordering::Relaxed),
+            self.healed_snapshot.load(Ordering::Relaxed),
+            self.quarantined_frames.load(Ordering::Relaxed),
+            self.quarantined_bytes.load(Ordering::Relaxed),
+            self.gap_windows.load(Ordering::Relaxed),
+            self.checkpoint_rounds.load(Ordering::Relaxed),
         )
     }
 }
@@ -116,5 +161,33 @@ mod tests {
         d.note_checkpoint(25, 7500);
         assert_eq!(d.lag_rounds(), 0);
         assert!(d.to_json().contains("\"checkpoint_t\":7500"));
+    }
+
+    #[test]
+    fn storage_block_reflects_findings() {
+        let d = DurabilityStatus::new("always");
+        let j = d.to_json();
+        assert!(j.contains("\"storage\":{\"degraded\":false"), "{j}");
+        assert!(j.contains("\"healed_snapshot\":false"), "{j}");
+
+        let f = manic_core::StorageFindings {
+            fallback_generations: 1,
+            healed_snapshot: true,
+            quarantined_frames: 2,
+            quarantined_bytes: 96,
+            gap_windows: 4,
+            ..Default::default()
+        };
+        d.note_storage_findings(&f);
+        d.set_storage_degraded(true);
+        d.note_checkpoint(40, 12_000);
+        let j = d.to_json();
+        assert!(j.contains("\"degraded\":true"), "{j}");
+        assert!(j.contains("\"fallback_generations\":1"), "{j}");
+        assert!(j.contains("\"healed_snapshot\":true"), "{j}");
+        assert!(j.contains("\"quarantined_frames\":2"), "{j}");
+        assert!(j.contains("\"quarantined_bytes\":96"), "{j}");
+        assert!(j.contains("\"gap_windows\":4"), "{j}");
+        assert!(j.contains("\"checkpoint_generation\":40"), "{j}");
     }
 }

@@ -32,3 +32,4 @@ pub use quality::{QualityFlags, QualityLog};
 pub use series::{Aggregate, Point, Series};
 pub use store::{LatestCell, LatestHandle, Store, TagFilter};
 pub use wal::{FsyncPolicy, ReplayReport, Wal, WalCodecError, WalPosition, WalRecord};
+pub use wal::{replay_dir_range, replay_segment_file_with};

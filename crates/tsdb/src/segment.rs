@@ -13,9 +13,22 @@
 //! reports the byte offset of the last *valid* frame so recovery can
 //! truncate there. Everything before that offset is trusted — segments are
 //! append-only and never rewritten in place.
+//!
+//! Mid-file corruption (a bit rotted at rest, a torn write that later
+//! frames were appended past) is handled by the *resync* scan mode used on
+//! replay: instead of treating the first bad frame as the end of the log,
+//! the scanner searches forward for the next byte offset that parses as a
+//! valid frame (length bound + CRC match — a 2^-32 false-positive rate)
+//! and quarantines the skipped range. Quarantined ranges are counted and
+//! reported so replay can flag the affected time window instead of
+//! silently losing everything after one bad frame.
+//!
+//! All file I/O goes through a [`manic_vfs::Vfs`] handle so the fault
+//! harness can inject disk errors; the `*_with` constructors take an
+//! explicit handle, the plain ones use the real disk.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use manic_vfs::{Vfs, VfsFile};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
@@ -78,17 +91,19 @@ pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
 
 /// All `wal-*.seg` files in `dir`, sorted by sequence number.
 pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_segments_with(&manic_vfs::RealVfs, dir)
+}
+
+/// [`list_segments`] through an explicit VFS handle.
+pub fn list_segments_with(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in vfs.read_dir_names(dir)? {
         if let Some(seq) = name
             .strip_prefix("wal-")
             .and_then(|s| s.strip_suffix(".seg"))
             .and_then(|s| s.parse::<u64>().ok())
         {
-            out.push((seq, entry.path()));
+            out.push((seq, dir.join(&name)));
         }
     }
     out.sort();
@@ -97,7 +112,7 @@ pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 
 /// Buffered appender onto one segment file.
 pub struct SegmentWriter {
-    file: BufWriter<File>,
+    file: BufWriter<Box<dyn VfsFile>>,
     /// Byte offset the next frame will start at (header included).
     offset: u64,
 }
@@ -106,7 +121,12 @@ impl SegmentWriter {
     /// Create a fresh segment (truncating any existing file) and write the
     /// header.
     pub fn create(path: &Path) -> io::Result<SegmentWriter> {
-        let mut file = BufWriter::new(File::create(path)?);
+        SegmentWriter::create_with(&manic_vfs::RealVfs, path)
+    }
+
+    /// [`Self::create`] through an explicit VFS handle.
+    pub fn create_with(vfs: &dyn Vfs, path: &Path) -> io::Result<SegmentWriter> {
+        let mut file = BufWriter::new(vfs.create(path)?);
         file.write_all(&MAGIC)?;
         Ok(SegmentWriter { file, offset: HEADER_LEN })
     }
@@ -114,11 +134,15 @@ impl SegmentWriter {
     /// Reopen an existing segment for appending, truncating it to
     /// `valid_len` first (discarding a torn tail found by [`scan`]).
     pub fn open_end(path: &Path, valid_len: u64) -> io::Result<SegmentWriter> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        SegmentWriter::open_end_with(&manic_vfs::RealVfs, path, valid_len)
+    }
+
+    /// [`Self::open_end`] through an explicit VFS handle.
+    pub fn open_end_with(vfs: &dyn Vfs, path: &Path, valid_len: u64) -> io::Result<SegmentWriter> {
+        let mut file = vfs.open_rw(path)?;
         file.set_len(valid_len)?;
-        let mut file = BufWriter::new(file);
-        file.seek(SeekFrom::Start(valid_len))?;
-        Ok(SegmentWriter { file, offset: valid_len })
+        file.seek_to(valid_len)?;
+        Ok(SegmentWriter { file: BufWriter::new(file), offset: valid_len })
     }
 
     /// Append one framed record; returns the offset *after* the frame.
@@ -149,7 +173,7 @@ impl SegmentWriter {
     /// each group commit on journaling filesystems.
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.flush()?;
-        self.file.get_ref().sync_data()
+        self.file.get_mut().sync_data()
     }
 }
 
@@ -158,13 +182,40 @@ pub struct SegmentScan {
     /// `(offset_after_frame, payload)` for every intact record, in order.
     pub records: Vec<(u64, Vec<u8>)>,
     /// Byte offset of the end of the last intact frame; the file should be
-    /// truncated here before further appends.
+    /// truncated here before further appends. In resync mode this is the
+    /// offset of the *first* corrupt byte — appending past quarantined
+    /// garbage is never safe.
     pub valid_len: u64,
-    /// True when bytes past `valid_len` existed but did not form a valid
-    /// frame (torn tail or corruption).
+    /// True when bytes past the last intact frame existed but did not form
+    /// a valid frame (torn tail or corruption).
     pub torn: bool,
     /// True when even the header was missing or wrong.
     pub bad_header: bool,
+    /// Byte ranges `[start, end)` skipped by resync: corrupt frames fenced
+    /// mid-file, with intact frames recovered after each range. Empty
+    /// unless scanning with `resync` and the file has mid-file corruption.
+    pub quarantined: Vec<(u64, u64)>,
+}
+
+impl SegmentScan {
+    /// Bytes covered by quarantined ranges.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.quarantined.iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+/// Is there a valid frame at `pos`? Returns the offset after it.
+fn frame_at(raw: &[u8], pos: usize) -> Option<usize> {
+    if pos + 8 > raw.len() {
+        return None;
+    }
+    let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap());
+    let want_crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
+    if len > MAX_PAYLOAD || pos + 8 + len as usize > raw.len() {
+        return None;
+    }
+    let payload = &raw[pos + 8..pos + 8 + len as usize];
+    (crc32(payload) == want_crc).then_some(pos + 8 + len as usize)
 }
 
 /// Read a segment, stopping at the first torn or corrupt frame. Records at
@@ -172,41 +223,81 @@ pub struct SegmentScan {
 /// [`SegmentWriter::append`]) are decoded but not returned — used to skip
 /// the portion already covered by a checkpoint.
 pub fn scan(path: &Path, from_offset: u64) -> io::Result<SegmentScan> {
-    let mut raw = Vec::new();
-    File::open(path)?.read_to_end(&mut raw)?;
+    scan_with(&manic_vfs::RealVfs, path, from_offset, false)
+}
+
+/// [`scan`] through an explicit VFS handle, optionally *resyncing* past
+/// mid-file corruption: after a bad frame, search forward for the next
+/// offset that parses as a valid frame and quarantine the skipped range.
+/// The append path must use `resync: false` (truncate at the first bad
+/// byte); replay uses `resync: true` to recover everything recoverable.
+pub fn scan_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    from_offset: u64,
+    resync: bool,
+) -> io::Result<SegmentScan> {
+    let raw = vfs.read(path)?;
     if raw.len() < MAGIC.len() || raw[..MAGIC.len()] != MAGIC {
         return Ok(SegmentScan {
             records: Vec::new(),
             valid_len: HEADER_LEN,
             torn: !raw.is_empty(),
             bad_header: true,
+            quarantined: Vec::new(),
         });
     }
     let mut records = Vec::new();
+    let mut quarantined = Vec::new();
     let mut pos = HEADER_LEN as usize;
     let mut torn = false;
+    let mut valid_len: Option<u64> = None;
     while pos < raw.len() {
-        if pos + 8 > raw.len() {
-            torn = true;
-            break;
-        }
-        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap());
-        let want_crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
-        if len > MAX_PAYLOAD || pos + 8 + len as usize > raw.len() {
-            torn = true;
-            break;
-        }
-        let payload = &raw[pos + 8..pos + 8 + len as usize];
-        if crc32(payload) != want_crc {
-            torn = true;
-            break;
-        }
-        pos += 8 + len as usize;
-        if pos as u64 > from_offset {
-            records.push((pos as u64, payload.to_vec()));
+        match frame_at(&raw, pos) {
+            Some(next) => {
+                if next as u64 > from_offset {
+                    records.push((next as u64, raw[pos + 8..next].to_vec()));
+                }
+                pos = next;
+            }
+            None => {
+                if valid_len.is_none() {
+                    valid_len = Some(pos as u64);
+                }
+                if !resync {
+                    torn = true;
+                    break;
+                }
+                // Search for the next parseable frame boundary. One CRC
+                // match is a strong signal (2^-32 on garbage); anything
+                // skipped is quarantined, not silently dropped.
+                let mut found = None;
+                for c in pos + 1..raw.len().saturating_sub(8) {
+                    if frame_at(&raw, c).is_some() {
+                        found = Some(c);
+                        break;
+                    }
+                }
+                match found {
+                    Some(c) => {
+                        quarantined.push((pos as u64, c as u64));
+                        pos = c;
+                    }
+                    None => {
+                        torn = true;
+                        break;
+                    }
+                }
+            }
         }
     }
-    Ok(SegmentScan { records, valid_len: pos as u64, torn, bad_header: false })
+    Ok(SegmentScan {
+        records,
+        valid_len: valid_len.unwrap_or(pos as u64),
+        torn,
+        bad_header: false,
+        quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -255,7 +346,7 @@ mod tests {
         w.append(b"torn away").unwrap();
         w.sync().unwrap();
         // Chop mid-way through the second frame.
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(good_len + 5).unwrap();
         drop(f);
         let scan1 = scan(&path, 0).unwrap();
@@ -270,6 +361,39 @@ mod tests {
         assert!(!scan2.torn);
         assert_eq!(scan2.records.len(), 2);
         assert_eq!(scan2.records[1].1, b"fresh");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resync_recovers_past_midfile_corruption() {
+        let path = tmp("resync.seg");
+        let mut w = SegmentWriter::create(&path).unwrap();
+        w.append(b"first").unwrap();
+        let corrupt_at = w.offset();
+        w.append(b"second - will be flipped").unwrap();
+        let corrupt_end = w.offset();
+        w.append(b"third survives").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Flip a payload byte in the middle frame.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[corrupt_at as usize + 10] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        // Plain scan fences at the corruption.
+        let plain = scan(&path, 0).unwrap();
+        assert!(plain.torn);
+        assert_eq!(plain.records.len(), 1);
+        assert_eq!(plain.valid_len, corrupt_at);
+        // Resync scan quarantines the bad frame and recovers the third.
+        let re = scan_with(&manic_vfs::RealVfs, &path, 0, true).unwrap();
+        assert!(!re.torn);
+        assert_eq!(re.records.len(), 2);
+        assert_eq!(re.records[1].1, b"third survives");
+        assert_eq!(re.quarantined, vec![(corrupt_at, corrupt_end)]);
+        assert_eq!(re.quarantined_bytes(), corrupt_end - corrupt_at);
+        // valid_len still fences at the first corrupt byte: appends must
+        // not resume past quarantined garbage.
+        assert_eq!(re.valid_len, corrupt_at);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -335,6 +335,27 @@ impl Store {
         shard.entry(key.clone()).or_default().annotate(from, to, flags);
     }
 
+    /// Attach quality flags to `[from, to)` of *every* series currently in
+    /// the store (points or existing annotations). Used by self-healing
+    /// replay to fence quarantined WAL ranges: corrupt frames are
+    /// interleaved across series, so the whole window is suspect for all of
+    /// them. Returns the number of series annotated.
+    pub fn annotate_all(&self, from: i64, to: i64, flags: QualityFlags) -> usize {
+        let mut keys: Vec<SeriesKey> = Vec::new();
+        for shard in &self.shards {
+            keys.extend(shard.read().unwrap().keys().cloned());
+        }
+        for shard in &self.quality {
+            keys.extend(shard.read().unwrap().keys().cloned());
+        }
+        keys.sort();
+        keys.dedup();
+        for key in &keys {
+            self.annotate(key, from, to, flags);
+        }
+        keys.len()
+    }
+
     /// All annotation windows of one series, `(from, to, flags)`.
     pub fn quality_windows(&self, key: &SeriesKey) -> Vec<(i64, i64, QualityFlags)> {
         let shard = self.quality[Self::shard_index(key)].read().unwrap();

@@ -24,9 +24,11 @@ use crate::segment::{self, segment_path, SegmentWriter, HEADER_LEN};
 use crate::series::Point;
 use crate::store::Store;
 use crate::SeriesKey;
+use manic_vfs::{is_enospc, Vfs};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
@@ -231,6 +233,12 @@ struct Shared {
     dir: PathBuf,
     policy: FsyncPolicy,
     rotate_bytes: u64,
+    vfs: Arc<dyn Vfs>,
+    /// ENOSPC-degraded mode: raw-sample (`K`/`B`) frames are shed while
+    /// verdict-critical records (annotations, retention) keep being
+    /// attempted. Cleared optimistically at every successful sync barrier
+    /// so the log re-probes the disk once per group commit.
+    degraded: AtomicBool,
     inner: Mutex<Inner>,
     /// Escaped key tokens by id, appended on first use of a series (ids are
     /// dense and monotonic). The writer thread keeps a private copy and only
@@ -244,10 +252,24 @@ impl Shared {
         if inner.writer.offset() >= self.rotate_bytes {
             inner.writer.sync()?;
             inner.seq += 1;
-            inner.writer = SegmentWriter::create(&segment_path(&self.dir, inner.seq))?;
+            inner.writer =
+                SegmentWriter::create_with(&*self.vfs, &segment_path(&self.dir, inner.seq))?;
             metrics().wal_rotations.inc();
         }
         Ok(())
+    }
+
+    /// Record an append-path failure. ENOSPC flips the log into degraded
+    /// (sample-shedding) mode instead of burning the error counter on every
+    /// subsequent sample.
+    fn note_write_error(&self, e: &io::Error) {
+        if is_enospc(e) {
+            if !self.degraded.swap(true, Ordering::Relaxed) {
+                metrics().wal_degraded_enters.inc();
+            }
+        } else {
+            metrics().wal_write_errors.inc();
+        }
     }
 
     fn commit(&self, inner: &mut Inner, appended: u32) -> io::Result<()> {
@@ -313,6 +335,13 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Vec<Msg>>) {
                   defined: &mut Vec<bool>| {
         match msg {
             Msg::Bin(bytes) => {
+                // ENOSPC degraded mode sheds raw-sample persistence: the
+                // in-memory store stays authoritative and verdict-critical
+                // records (annotations, retains) below are still attempted.
+                if shared.degraded.load(Ordering::Relaxed) {
+                    metrics().wal_shed_samples.add((bytes.len() / SAMPLE_ENTRY) as u64);
+                    return;
+                }
                 for e in bytes.chunks_exact(SAMPLE_ENTRY) {
                     let id = u32::from_le_bytes(e[..4].try_into().unwrap()) as usize;
                     if defined.get(id).copied().unwrap_or(false) {
@@ -330,33 +359,49 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Vec<Msg>>) {
                     buf.push(b'K');
                     buf.extend_from_slice(&(id as u32).to_le_bytes());
                     buf.extend_from_slice(tokens[id].as_bytes());
-                    if shared.append_payload(inner, buf).is_err() {
-                        metrics().wal_write_errors.inc();
+                    if let Err(e) = shared.append_payload(inner, buf) {
+                        shared.note_write_error(&e);
                     }
                     defined[id] = true;
                 }
                 for chunk in bytes.chunks(B_FRAME_MAX) {
+                    if shared.degraded.load(Ordering::Relaxed) {
+                        metrics().wal_shed_samples.add((chunk.len() / SAMPLE_ENTRY) as u64);
+                        continue;
+                    }
                     buf.clear();
                     buf.push(b'B');
                     buf.extend_from_slice(chunk);
-                    if shared.append_payload(inner, buf).is_err() {
-                        metrics().wal_write_errors.inc();
-                    } else {
-                        *pending += (chunk.len() / SAMPLE_ENTRY) as u32;
+                    match shared.append_payload(inner, buf) {
+                        Ok(()) => *pending += (chunk.len() / SAMPLE_ENTRY) as u32,
+                        Err(e) => {
+                            shared.note_write_error(&e);
+                            if shared.degraded.load(Ordering::Relaxed) {
+                                metrics()
+                                    .wal_shed_samples
+                                    .add((chunk.len() / SAMPLE_ENTRY) as u64);
+                            }
+                        }
                     }
                 }
             }
             Msg::Rec(rec) => {
-                if shared.append_record(inner, &rec).is_err() {
-                    metrics().wal_write_errors.inc();
+                if let Err(e) = shared.append_record(inner, &rec) {
+                    shared.note_write_error(&e);
+                    if is_enospc(&e) {
+                        metrics().wal_write_errors.inc();
+                    }
                 } else {
                     *pending += 1;
                 }
             }
             Msg::Batch(recs) => {
                 for rec in recs {
-                    if shared.append_record(inner, &rec).is_err() {
-                        metrics().wal_write_errors.inc();
+                    if let Err(e) = shared.append_record(inner, &rec) {
+                        shared.note_write_error(&e);
+                        if is_enospc(&e) {
+                            metrics().wal_write_errors.inc();
+                        }
                     } else {
                         *pending += 1;
                     }
@@ -364,11 +409,20 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Vec<Msg>>) {
             }
             Msg::Sync(ack) => {
                 let r = shared.sync_now(inner);
+                if let Err(e) = &r {
+                    shared.note_write_error(e);
+                }
                 *pending = 0;
                 // The next burst re-defines its keys so that this barrier's
                 // position (a potential checkpoint) starts a tail that is
                 // replayable on its own.
                 defined.clear();
+                if r.is_ok() {
+                    // Optimistic re-probe: a successful barrier is the cue
+                    // to retry raw-sample persistence; if the disk is still
+                    // full the next append re-enters degraded mode.
+                    shared.degraded.store(false, Ordering::Relaxed);
+                }
                 let _ = ack.send(r);
             }
         }
@@ -389,8 +443,8 @@ fn writer_loop(shared: Arc<Shared>, rx: mpsc::Receiver<Vec<Msg>>) {
             }
         }
         if pending > 0 {
-            if shared.commit(&mut inner, pending).is_err() {
-                metrics().wal_write_errors.inc();
+            if let Err(e) = shared.commit(&mut inner, pending) {
+                shared.note_write_error(&e);
             }
             pending = 0;
         }
@@ -437,11 +491,19 @@ impl Drop for Wal {
 impl Wal {
     /// Wrap freshly-opened segment state in a handle, spawning the writer
     /// thread for the asynchronous commit modes.
-    fn finish(dir: &Path, policy: FsyncPolicy, rotate_bytes: u64, inner: Inner) -> Wal {
+    fn finish(
+        dir: &Path,
+        policy: FsyncPolicy,
+        rotate_bytes: u64,
+        vfs: Arc<dyn Vfs>,
+        inner: Inner,
+    ) -> Wal {
         let shared = Arc::new(Shared {
             dir: dir.to_path_buf(),
             policy,
             rotate_bytes,
+            vfs,
+            degraded: AtomicBool::new(false),
             inner: Mutex::new(inner),
             tokens: Mutex::new(Vec::new()),
         });
@@ -475,23 +537,37 @@ impl Wal {
     /// Open (or create) the log in `dir`, continuing after the last intact
     /// record of the newest segment. A torn tail is truncated and counted.
     pub fn open(dir: &Path, policy: FsyncPolicy, rotate_bytes: u64) -> io::Result<Wal> {
-        std::fs::create_dir_all(dir)?;
-        let segments = segment::list_segments(dir)?;
+        Wal::open_with(dir, policy, rotate_bytes, manic_vfs::real())
+    }
+
+    /// [`Self::open`] through an explicit VFS handle (fault injection).
+    pub fn open_with(
+        dir: &Path,
+        policy: FsyncPolicy,
+        rotate_bytes: u64,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<Wal> {
+        vfs.create_dir_all(dir)?;
+        let segments = segment::list_segments_with(&*vfs, dir)?;
         let inner = match segments.last() {
             Some(&(seq, ref path)) => {
-                let scan = segment::scan(path, 0)?;
+                let scan = segment::scan_with(&*vfs, path, 0, false)?;
                 if scan.torn {
                     metrics().wal_torn_records.inc();
                 }
-                Inner { writer: SegmentWriter::open_end(path, scan.valid_len)?, seq, since_sync: 0 }
+                Inner {
+                    writer: SegmentWriter::open_end_with(&*vfs, path, scan.valid_len)?,
+                    seq,
+                    since_sync: 0,
+                }
             }
             None => Inner {
-                writer: SegmentWriter::create(&segment_path(dir, 1))?,
+                writer: SegmentWriter::create_with(&*vfs, &segment_path(dir, 1))?,
                 seq: 1,
                 since_sync: 0,
             },
         };
-        Ok(Wal::finish(dir, policy, rotate_bytes, inner))
+        Ok(Wal::finish(dir, policy, rotate_bytes, vfs, inner))
     }
 
     /// Open the log positioned exactly at `pos`, discarding everything past
@@ -506,21 +582,32 @@ impl Wal {
         rotate_bytes: u64,
         pos: WalPosition,
     ) -> io::Result<(Wal, u64)> {
-        std::fs::create_dir_all(dir)?;
+        Wal::open_at_with(dir, policy, rotate_bytes, pos, manic_vfs::real())
+    }
+
+    /// [`Self::open_at`] through an explicit VFS handle (fault injection).
+    pub fn open_at_with(
+        dir: &Path,
+        policy: FsyncPolicy,
+        rotate_bytes: u64,
+        pos: WalPosition,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<(Wal, u64)> {
+        vfs.create_dir_all(dir)?;
         let mut discarded = 0u64;
         let mut target: Option<PathBuf> = None;
-        for (seq, path) in segment::list_segments(dir)? {
+        for (seq, path) in segment::list_segments_with(&*vfs, dir)? {
             if seq > pos.segment {
-                let scan = segment::scan(&path, 0)?;
+                let scan = segment::scan_with(&*vfs, &path, 0, false)?;
                 discarded += scan.records.len() as u64;
-                std::fs::remove_file(&path)?;
+                vfs.remove_file(&path)?;
             } else if seq == pos.segment {
                 target = Some(path);
             }
         }
         let inner = match target {
             Some(path) => {
-                let scan = segment::scan(&path, pos.offset)?;
+                let scan = segment::scan_with(&*vfs, &path, pos.offset, false)?;
                 discarded += scan.records.len() as u64;
                 if scan.torn && scan.valid_len > pos.offset {
                     metrics().wal_torn_records.inc();
@@ -530,19 +617,19 @@ impl Wal {
                 // records the checkpoint snapshot already covers.
                 let valid = pos.offset.min(scan.valid_len).max(HEADER_LEN);
                 Inner {
-                    writer: SegmentWriter::open_end(&path, valid)?,
+                    writer: SegmentWriter::open_end_with(&*vfs, &path, valid)?,
                     seq: pos.segment,
                     since_sync: 0,
                 }
             }
             None => Inner {
-                writer: SegmentWriter::create(&segment_path(dir, pos.segment.max(1)))?,
+                writer: SegmentWriter::create_with(&*vfs, &segment_path(dir, pos.segment.max(1)))?,
                 seq: pos.segment.max(1),
                 since_sync: 0,
             },
         };
         metrics().wal_tail_discarded.add(discarded);
-        Ok((Wal::finish(dir, policy, rotate_bytes, inner), discarded))
+        Ok((Wal::finish(dir, policy, rotate_bytes, vfs, inner), discarded))
     }
 
     pub fn dir(&self) -> &Path {
@@ -553,6 +640,12 @@ impl Wal {
         self.shared.policy
     }
 
+    /// True while the log is shedding raw-sample persistence because the
+    /// disk reported ENOSPC. Verdict-critical records are still attempted.
+    pub fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Relaxed)
+    }
+
     /// Append one record under the configured commit policy. Failures are
     /// counted (`manic_tsdb_wal_write_errors`) but do not poison the log
     /// handle — the in-memory store stays authoritative.
@@ -560,14 +653,24 @@ impl Wal {
         match &self.tx {
             Some(tx) => self.enqueue(tx, Msg::Rec(Box::new(rec))),
             None => {
+                // Synchronous mode sheds raw samples under ENOSPC too;
+                // control records are always attempted.
+                if self.shared.degraded.load(Ordering::Relaxed) {
+                    if let WalRecord::Sample { .. } = rec {
+                        metrics().wal_shed_samples.inc();
+                        return;
+                    }
+                }
                 let mut inner = self.shared.inner.lock().unwrap();
-                if self
+                if let Err(e) = self
                     .shared
                     .append_record(&mut inner, &rec)
                     .and_then(|()| self.shared.commit(&mut inner, 1))
-                    .is_err()
                 {
-                    metrics().wal_write_errors.inc();
+                    self.shared.note_write_error(&e);
+                    if is_enospc(&e) && !matches!(rec, WalRecord::Sample { .. }) {
+                        metrics().wal_write_errors.inc();
+                    }
                 }
             }
         }
@@ -733,7 +836,12 @@ impl Wal {
             return ack_rx.recv().map_err(|_| gone())?;
         }
         let mut inner = self.shared.inner.lock().unwrap();
-        self.shared.sync_now(&mut inner)
+        let r = self.shared.sync_now(&mut inner);
+        if r.is_ok() {
+            // Same optimistic re-probe the writer thread does at barriers.
+            self.shared.degraded.store(false, Ordering::Relaxed);
+        }
+        r
     }
 
     /// Current end-of-log position. Meaningful as a durability point only
@@ -749,9 +857,9 @@ impl Wal {
         // Hold the segment lock so rotation cannot race the directory walk.
         let _inner = self.shared.inner.lock().unwrap();
         let mut removed = 0;
-        for (seq, path) in segment::list_segments(&self.shared.dir)? {
+        for (seq, path) in segment::list_segments_with(&*self.shared.vfs, &self.shared.dir)? {
             if seq < segment {
-                std::fs::remove_file(&path)?;
+                self.shared.vfs.remove_file(&path)?;
                 removed += 1;
             }
         }
@@ -760,7 +868,7 @@ impl Wal {
 }
 
 /// Outcome of a replay.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ReplayReport {
     /// Segment files visited.
     pub segments: u64,
@@ -768,15 +876,29 @@ pub struct ReplayReport {
     pub samples: u64,
     pub annotations: u64,
     pub retains: u64,
-    /// Torn frames fenced off (replay stops at the first).
+    /// Torn tails fenced off (truncation events at a segment end).
     pub torn_records: u64,
     /// CRC-valid payloads that failed to decode (skipped).
     pub decode_errors: u64,
+    /// Mid-file corrupt ranges resync skipped over (each range holds one or
+    /// more unparseable frames); only non-zero for resync-mode replay.
+    pub quarantined_frames: u64,
+    /// Bytes covered by those quarantined ranges.
+    pub quarantined_bytes: u64,
+    /// Time windows `[from, to)` flagged GAP on every series because the
+    /// covering WAL range was quarantined or lost mid-directory.
+    pub gap_windows: Vec<(i64, i64)>,
 }
 
 impl ReplayReport {
     pub fn records(&self) -> u64 {
         self.samples + self.annotations + self.retains
+    }
+
+    /// True when replay had to heal around corruption (as opposed to a
+    /// clean log or a plain crash tail).
+    pub fn corrupted(&self) -> bool {
+        self.quarantined_frames > 0 || !self.gap_windows.is_empty()
     }
 }
 
@@ -848,8 +970,19 @@ fn replay_payloads(
 /// `store`. The store must not have a WAL attached yet, or the replay would
 /// be re-logged.
 pub fn replay_segment_file(path: &Path, store: &Store) -> io::Result<ReplayReport> {
+    replay_segment_file_with(&manic_vfs::RealVfs, path, store)
+}
+
+/// [`replay_segment_file`] through an explicit VFS handle. Snapshot replay
+/// is strict (no resync): a corrupt snapshot fails its content-hash check
+/// and the checkpoint machinery falls back a generation instead.
+pub fn replay_segment_file_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    store: &Store,
+) -> io::Result<ReplayReport> {
     let mut report = ReplayReport { segments: 1, ..ReplayReport::default() };
-    let scan = segment::scan(path, 0)?;
+    let scan = segment::scan_with(vfs, path, 0, false)?;
     if scan.torn {
         report.torn_records += 1;
         metrics().wal_torn_records.inc();
@@ -859,27 +992,148 @@ pub fn replay_segment_file(path: &Path, store: &Store) -> io::Result<ReplayRepor
     Ok(report)
 }
 
-/// Replay every record in `dir` after `pos` into `store`, stopping (not
-/// failing) at the first torn frame. Replay is deterministic: the same
-/// segments replay to byte-identical store contents.
-pub fn replay_dir_from(dir: &Path, store: &Store, pos: WalPosition) -> io::Result<ReplayReport> {
+/// First and last sample timestamps carried by a payload, if any.
+fn payload_times(payload: &[u8]) -> Option<(i64, i64)> {
+    match payload.split_first() {
+        Some((b'B', body)) => {
+            let n = body.len() / SAMPLE_ENTRY;
+            if n == 0 {
+                return None;
+            }
+            let t_at = |i: usize| {
+                let e = &body[i * SAMPLE_ENTRY..(i + 1) * SAMPLE_ENTRY];
+                i64::from_le_bytes(e[4..12].try_into().unwrap())
+            };
+            Some((t_at(0), t_at(n - 1)))
+        }
+        Some((b'S', _)) => match WalRecord::decode(payload) {
+            Ok(WalRecord::Sample { point, .. }) => Some((point.t, point.t)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Conservative GAP window bracketing a quarantined byte range: from the
+/// last sample time before it to just past the first sample time after it.
+fn bracket_gap(before: Option<i64>, after: Option<i64>) -> Option<(i64, i64)> {
+    match (before, after) {
+        (Some(a), Some(b)) => {
+            let (lo, hi) = (a.min(b), a.max(b));
+            Some((lo, hi.saturating_add(1)))
+        }
+        (Some(a), None) => Some((a, a.saturating_add(1))),
+        (None, Some(b)) => Some((b, b.saturating_add(1))),
+        (None, None) => None,
+    }
+}
+
+/// GAP window for a quarantined `[s, e)` byte range inside one segment's
+/// decoded record list (offsets are frame ends, sorted ascending).
+fn gap_window(records: &[(u64, Vec<u8>)], s: u64, e: u64) -> Option<(i64, i64)> {
+    let before = records
+        .iter()
+        .rev()
+        .filter(|(o, _)| *o <= s)
+        .find_map(|(_, p)| payload_times(p).map(|(_, last)| last));
+    let after = records
+        .iter()
+        .filter(|(o, _)| *o > e)
+        .find_map(|(_, p)| payload_times(p).map(|(first, _)| first));
+    bracket_gap(before, after)
+}
+
+/// Self-healing replay of `dir` into `store`, bounded to `(from, to]`:
+/// records at or before `from` are skipped (a checkpoint snapshot covers
+/// them), records after `to` (when given) are ignored — that is how
+/// generation fallback replays an *older* snapshot forward to a *newer*
+/// checkpoint's recorded position.
+///
+/// Mid-file corrupt frames are quarantined (resync scan), counted, and
+/// fenced with GAP quality windows over every series, so one rotten frame
+/// costs a flagged measurement window instead of the whole log. A torn tail
+/// on the *last* segment is the normal crash tail and simply ends replay; a
+/// torn tail with more segments after it is corruption and is bridged with
+/// a GAP window into the next segment.
+pub fn replay_dir_range(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    store: &Store,
+    from: WalPosition,
+    to: Option<WalPosition>,
+) -> io::Result<ReplayReport> {
     let mut report = ReplayReport::default();
     let mut keymap = Vec::new();
-    for (seq, path) in segment::list_segments(dir)? {
-        if seq < pos.segment {
-            continue;
-        }
-        let from = if seq == pos.segment { pos.offset } else { 0 };
-        let scan = segment::scan(&path, from)?;
+    // Open inter-segment gap: the last sample time of a mid-directory torn
+    // segment, waiting for the next segment's first time to close it.
+    let mut open_gap: Option<Option<i64>> = None;
+    let segs: Vec<(u64, PathBuf)> = segment::list_segments_with(vfs, dir)?
+        .into_iter()
+        .filter(|&(seq, _)| seq >= from.segment && to.is_none_or(|t| seq <= t.segment))
+        .collect();
+    let last_idx = segs.len().saturating_sub(1);
+    for (idx, (seq, path)) in segs.into_iter().enumerate() {
+        let start = if seq == from.segment { from.offset } else { 0 };
+        let scan = segment::scan_with(vfs, &path, start, true)?;
         report.segments += 1;
-        replay_payloads(&scan.records, store, &mut report, &mut keymap);
+        let bound = to.filter(|t| t.segment == seq).map(|t| t.offset);
+        let records: &[(u64, Vec<u8>)] = match bound {
+            Some(b) => {
+                let cut = scan.records.partition_point(|&(o, _)| o <= b);
+                &scan.records[..cut]
+            }
+            None => &scan.records,
+        };
+        if let Some(before) = open_gap.take() {
+            let after = records.iter().find_map(|(_, p)| payload_times(p).map(|(f, _)| f));
+            if let Some(w) = bracket_gap(before, after) {
+                report.gap_windows.push(w);
+            }
+        }
+        for &(s, e) in &scan.quarantined {
+            if e <= start || bound.is_some_and(|b| s >= b) {
+                // Fully below the snapshot-covered prefix, or past the
+                // replay bound: not this replay's problem.
+                continue;
+            }
+            report.quarantined_frames += 1;
+            report.quarantined_bytes += e - s;
+            metrics().wal_torn_records.inc();
+            metrics().wal_quarantined_bytes.add(e - s);
+            if let Some(w) = gap_window(records, s, e) {
+                report.gap_windows.push(w);
+            }
+        }
+        replay_payloads(records, store, &mut report, &mut keymap);
         if scan.torn {
             report.torn_records += 1;
             metrics().wal_torn_records.inc();
-            break;
+            if idx == last_idx {
+                // Normal crash tail: everything past it was unacknowledged.
+                break;
+            }
+            // Corruption swallowed the end of a mid-directory segment; keep
+            // replaying the rest of the log and fence the hole.
+            report.quarantined_frames += 1;
+            open_gap = Some(
+                records.iter().rev().find_map(|(_, p)| payload_times(p).map(|(_, l)| l)),
+            );
         }
     }
+    for &(f, t) in &report.gap_windows {
+        store.annotate_all(f, t, crate::quality::GAP);
+        metrics().wal_gap_annotations.inc();
+    }
     Ok(report)
+}
+
+/// Replay every record in `dir` after `pos` into `store`. Mid-file
+/// corruption is quarantined and GAP-flagged (see [`replay_dir_range`]);
+/// only a torn tail on the final segment ends replay early. Replay is
+/// deterministic: the same segments always rebuild identical store
+/// contents.
+pub fn replay_dir_from(dir: &Path, store: &Store, pos: WalPosition) -> io::Result<ReplayReport> {
+    replay_dir_range(&manic_vfs::RealVfs, dir, store, pos, None)
 }
 
 /// Replay the whole directory from the beginning.
@@ -1036,6 +1290,72 @@ mod tests {
         assert_eq!(tail_rep.samples, 60);
         assert_eq!(tail_rep.decode_errors, 0);
         assert_eq!(tail.content_hash(), full.content_hash());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn midfile_corruption_is_quarantined_and_gap_flagged() {
+        let dir = tmpdir("quarantine");
+        let wal = Wal::open(&dir, FsyncPolicy::Always, 1 << 20).unwrap();
+        let live = Store::new();
+        live.attach_wal(std::sync::Arc::new(wal));
+        for t in 0..10i64 {
+            live.write(&k("a"), t * 300, t as f64);
+        }
+        let (_, path) = segment::list_segments(&dir).unwrap().pop().unwrap();
+        let clean = segment::scan(&path, 0).unwrap();
+        assert_eq!(clean.records.len(), 10);
+        // Flip one payload byte inside the 6th frame (sample t=1500).
+        let frame_start = clean.records[4].0;
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[frame_start as usize + 9] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+
+        let rebuilt = Store::new();
+        let rep = replay_dir(&dir, &rebuilt).unwrap();
+        assert_eq!(rep.samples, 9, "all but the corrupt frame replay");
+        assert_eq!(rep.torn_records, 0, "mid-file corruption is not a torn tail");
+        assert_eq!(rep.quarantined_frames, 1);
+        assert!(rep.quarantined_bytes > 0);
+        assert!(rep.corrupted());
+        // The hole between t=1200 and t=1800 is fenced with a GAP window.
+        assert_eq!(rep.gap_windows, vec![(1200, 1801)]);
+        let flagged = rebuilt
+            .quality_windows(&k("a"))
+            .iter()
+            .any(|&(f, t, fl)| f <= 1200 && t >= 1800 && fl & crate::quality::GAP != 0);
+        assert!(flagged, "GAP annotation covers the quarantined window");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_sheds_samples_but_keeps_control_records() {
+        use manic_vfs::{DiskFaultEvent, DiskFaultKind, DiskFaultPlan, FaultVfs};
+        let dir = tmpdir("enospc");
+        // The disk is full from the first physical write on (the segment
+        // writer buffers, so that is the first barrier's flush).
+        let vfs = FaultVfs::new(DiskFaultPlan::new(vec![DiskFaultEvent::window(
+            DiskFaultKind::Enospc,
+            0,
+            u64::MAX,
+        )]));
+        let wal = Wal::open_with(&dir, FsyncPolicy::EveryN(4), 1 << 20, Arc::new(vfs.clone()))
+            .unwrap();
+        let live = Store::new();
+        let wal = std::sync::Arc::new(wal);
+        live.attach_wal(std::sync::Arc::clone(&wal));
+        for t in 0..50i64 {
+            live.write(&k("a"), t * 300, t as f64);
+        }
+        // First barrier forces the staged burst into the full disk.
+        let _ = wal.flush_and_sync();
+        assert!(wal.degraded(), "ENOSPC flips the log into degraded mode");
+        assert!(vfs.stats().enospc > 0);
+        // Verdict-critical records are still attempted while degraded.
+        live.annotate(&k("a"), 0, 600, crate::quality::SUSPECT_RATE_LIMITED);
+        let _ = wal.flush_and_sync();
+        // The in-memory store is authoritative regardless of shedding.
+        assert_eq!(live.point_count(), 50);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -176,6 +176,65 @@ proptest! {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// Flipping any single bit in a sealed segment is recover-or-flag,
+    /// never a panic and never silent divergence: the resync scan applies a
+    /// subset of the original records, and when nothing was flagged (the
+    /// flip landed in dead header space) every record must have survived
+    /// byte-identically.
+    #[test]
+    fn segment_bit_flip_recovers_or_flags(
+        samples in prop::collection::vec((0i64..10_000, -1e6f64..1e6), 1..30),
+        flip in 0usize..1_000_000,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let n = CASE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("manic-prop-flip-{}-{n}.seg", std::process::id()));
+        let mut w = manic_tsdb::segment::SegmentWriter::create(&path).unwrap();
+        let key = SeriesKey::with_tags("tslp", &[("vp", "v1"), ("link", "1.2.3.4")]);
+        for &(t, v) in &samples {
+            let rec = WalRecord::Sample { key: key.clone(), point: Point::new(t, v) };
+            w.append(&rec.encode().unwrap()).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let bit = flip % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = manic_tsdb::segment::scan_with(&manic_vfs::RealVfs, &path, 0, true).unwrap();
+        prop_assert!(scan.records.len() <= samples.len());
+        for (_, payload) in &scan.records {
+            // A CRC-intact frame must still decode to one of the original
+            // samples — a flipped-yet-accepted payload would be silent
+            // corruption.
+            match WalRecord::decode(payload) {
+                Ok(WalRecord::Sample { point, .. }) => {
+                    prop_assert!(
+                        samples.contains(&(point.t, point.v)),
+                        "CRC accepted a mutated sample: ({}, {})", point.t, point.v
+                    );
+                }
+                Ok(other) => prop_assert!(false, "foreign record surfaced: {other:?}"),
+                Err(_) => {} // flagged downstream as a decode error
+            }
+        }
+        let flagged = scan.bad_header
+            || scan.torn
+            || !scan.quarantined.is_empty()
+            || scan.records.len() < samples.len();
+        if !flagged {
+            prop_assert_eq!(
+                scan.records.len(), samples.len(),
+                "unflagged flip must leave every record intact"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
     /// Dense downsampling covers every bin exactly once.
     #[test]
     fn dense_bins_cover_window(

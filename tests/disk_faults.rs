@@ -1,0 +1,307 @@
+//! Storage-fault robustness through the public API: checkpoint/WAL bit
+//! flips (recover-or-flag, never a panic and never silent divergence),
+//! ENOSPC mid-group-commit (graceful raw-sample shedding), and checkpoint
+//! generation fallback.
+//!
+//! The template fixture is one finished durable run over a 4 h toy-world
+//! window with several checkpoint generations on disk; each test copies it
+//! and damages its own copy.
+
+use manic_core::{recover_report_with, resume, Durable, DurabilityConfig, System, SystemConfig};
+use manic_netsim::time::{date_to_sim, Date};
+use manic_scenario::worlds::toy;
+use manic_tsdb::wal::FsyncPolicy;
+use manic_vfs::{DiskFaultEvent, DiskFaultKind, DiskFaultPlan, FaultVfs};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SEED: u64 = 42;
+
+fn window() -> (i64, i64) {
+    let from = date_to_sim(Date::new(2017, 3, 1));
+    (from, from + 4 * 3600)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    hash: u64,
+    points: usize,
+    verdicts: Vec<String>,
+}
+
+fn fingerprint(sys: &mut System, from: i64, to: i64) -> Fingerprint {
+    let mut verdicts = Vec::new();
+    for vi in 0..sys.vps.len() {
+        sys.arm_reactive_loss(vi, from, to);
+        verdicts.extend(sys.vps[vi].loss.targets.iter().map(|t| t.far_ip.to_string()));
+    }
+    verdicts.sort();
+    verdicts.dedup();
+    Fingerprint { hash: sys.store.content_hash(), points: sys.store.point_count(), verdicts }
+}
+
+struct Fixture {
+    template: PathBuf,
+    reference: Fingerprint,
+}
+
+/// Finished durable run (4 generations written, 3 kept + `checkpoint.json`)
+/// plus the uninterrupted in-memory reference fingerprint.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (from, to) = window();
+        let mut ref_sys = System::new(toy(SEED), SystemConfig::default());
+        ref_sys.run_packet_mode(from, to);
+        let reference = fingerprint(&mut ref_sys, from, to);
+        drop(ref_sys);
+
+        let template = std::env::temp_dir()
+            .join(format!("manic-disk-faults-template-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&template);
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::EveryN(8),
+            checkpoint_every_rounds: 12,
+            ..DurabilityConfig::default()
+        };
+        let mut sys = System::new(toy(SEED), SystemConfig::default());
+        let mut d = Durable::create(&sys, "toy", SEED, &template, from, to, cfg)
+            .expect("create durable");
+        d.run_window(&mut sys, to, &|| false).expect("run window");
+        d.finalize(&sys, to).expect("finalize");
+        Fixture { template, reference }
+    })
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for e in std::fs::read_dir(src).expect("read template").flatten() {
+        let p = e.path();
+        let d = dst.join(e.file_name());
+        if p.is_dir() {
+            copy_dir(&p, &d);
+        } else {
+            std::fs::copy(&p, &d).expect("copy file");
+        }
+    }
+}
+
+fn scratch_copy(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("manic-disk-faults-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_dir(&fixture().template, &dir);
+    dir
+}
+
+/// Every regular file in the data dir, sorted for deterministic picks.
+fn data_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for e in std::fs::read_dir(dir).expect("read data dir").flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            files.extend(data_files(&p));
+        } else {
+            files.push(p);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn clean_cfg() -> DurabilityConfig {
+    DurabilityConfig {
+        fsync: FsyncPolicy::EveryN(64),
+        checkpoint_every_rounds: 100_000,
+        ..DurabilityConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One flipped bit anywhere in the surviving files — meta, snapshot,
+    /// WAL — is either harmless (recovery still reproduces the reference
+    /// exactly) or flagged in [`manic_core::StorageFindings`]; it is never
+    /// a panic and never silent divergence.
+    #[test]
+    fn checkpoint_bit_flip_recovers_or_flags(pick in 0usize..4096, flip in 0usize..1_000_000) {
+        let (from, to) = window();
+        let reference = fixture().reference.clone();
+        let dir = scratch_copy("flip");
+
+        let files: Vec<PathBuf> = data_files(&dir)
+            .into_iter()
+            .filter(|p| std::fs::metadata(p).map(|m| m.len() > 0).unwrap_or(false))
+            .collect();
+        prop_assert!(!files.is_empty(), "template has no non-empty files");
+        let target = &files[pick % files.len()];
+        let mut bytes = std::fs::read(target).expect("read target");
+        let bit = flip % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(target, &bytes).expect("write flipped");
+
+        let report = recover_report_with(&dir, manic_vfs::real()).expect("one flip is recoverable");
+        let (mut sys, mut d, info) = resume(&dir, Some(clean_cfg())).expect("resume");
+        prop_assert_eq!(
+            report.storage.clean(), info.storage.clean(),
+            "report and resume must agree on whether damage was found"
+        );
+        d.run_window(&mut sys, to, &|| false).expect("re-run to window end");
+        let fp = fingerprint(&mut sys, from, to);
+        if info.storage.clean() {
+            prop_assert_eq!(
+                fp, reference,
+                "clean recovery must reproduce the reference exactly (flipped {:?} bit {})",
+                target, bit
+            );
+        } else {
+            // Flagged damage may cost data but never invents verdicts.
+            prop_assert!(
+                fp.verdicts.iter().all(|v| reference.verdicts.contains(v)),
+                "verdicts {:?} outside reference {:?}", fp.verdicts, reference.verdicts
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// ENOSPC in the middle of WAL group commits: the run keeps going (raw
+/// samples are shed, the in-memory system is unaffected), and a crash
+/// during the degraded span recovers with at most raw-sample loss —
+/// verdicts are never invented.
+#[test]
+fn enospc_mid_group_commit_sheds_and_recovers() {
+    let (from, to) = window();
+    let reference = fixture().reference.clone();
+    let dir = std::env::temp_dir()
+        .join(format!("manic-disk-faults-enospc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Drive the run in chunks with a group commit after each, like the CLI's
+    // periodic checkpoints would. The commit barriers matter twice over:
+    // appends are staged until a barrier pushes them through the writer
+    // thread, and the op-counter reads must not race that thread.
+    const CHUNKS: i64 = 8;
+    let chunk_ends: Vec<i64> = (1..=CHUNKS).map(|i| from + (to - from) * i / CHUNKS).collect();
+    let cfg_with = |vfs: Arc<dyn manic_vfs::Vfs>| DurabilityConfig {
+        fsync: FsyncPolicy::EveryN(8),
+        checkpoint_every_rounds: 100_000,
+        vfs,
+        ..DurabilityConfig::default()
+    };
+
+    // Calibrate the fault window: run the identical chunked schedule once
+    // against a clean FaultVfs and read the write-op counter at create time
+    // and after the final drain. With no periodic checkpoints every op in
+    // between is a WAL write, so the middle third of that span hits
+    // mid-run group commits while leaving commits on both sides intact.
+    let (wal_lo, wal_hi) = {
+        let cal = FaultVfs::new(DiskFaultPlan::default());
+        let cal_dir = dir.with_extension("cal");
+        let _ = std::fs::remove_dir_all(&cal_dir);
+        let mut sys = System::new(toy(SEED), SystemConfig::default());
+        let mut d = Durable::create(&sys, "toy", SEED, &cal_dir, from, to, cfg_with(Arc::new(cal.clone())))
+            .expect("calibration create");
+        let (create_ops, _) = cal.ops();
+        for &t in &chunk_ends {
+            d.run_window(&mut sys, t, &|| false).expect("calibration run");
+            d.wal().flush_and_sync().expect("calibration commit");
+        }
+        let (end_ops, _) = cal.ops();
+        drop(d);
+        let _ = std::fs::remove_dir_all(&cal_dir);
+        assert!(end_ops > create_ops, "run produced no WAL writes to calibrate against");
+        let span = end_ops - create_ops;
+        (create_ops + span / 3, create_ops + 2 * span.div_ceil(3))
+    };
+
+    // Device full for the middle third of the WAL write ops: early commits
+    // land durably, commits inside the window fail (the log sheds and the
+    // run keeps going), and once the op counter escapes the window later
+    // commits succeed again. No periodic checkpoints, so shed records
+    // cannot be recovered from a snapshot.
+    let fvfs = FaultVfs::new(DiskFaultPlan::new(vec![DiskFaultEvent::window(
+        DiskFaultKind::Enospc,
+        wal_lo,
+        wal_hi,
+    )
+    .scoped("wal")]));
+    let mut sys = System::new(toy(SEED), SystemConfig::default());
+    let mut d = Durable::create(&sys, "toy", SEED, &dir, from, to, cfg_with(Arc::new(fvfs.clone())))
+        .expect("create durable");
+    let mut commits_ok = 0u32;
+    let mut commits_failed = 0u32;
+    for &t in &chunk_ends {
+        d.run_window(&mut sys, t, &|| false)
+            .expect("ENOSPC mid-group-commit must not kill the run");
+        // A commit hitting the full device is allowed to fail — that is the
+        // degradation under test — but it must fail as an error, not a panic.
+        match d.wal().flush_and_sync() {
+            Ok(()) => commits_ok += 1,
+            Err(_) => commits_failed += 1,
+        }
+    }
+    assert!(fvfs.stats().enospc > 0, "the fault window never fired — test is vacuous");
+    assert!(commits_failed > 0, "no commit overlapped the full-device span — test is vacuous");
+    assert!(commits_ok > 0, "every commit failed — the window swallowed the whole run");
+
+    // The live system never lost anything: shedding is a persistence-side
+    // degradation only.
+    let live = fingerprint(&mut sys, from, to);
+    assert_eq!(live, reference, "in-memory state diverged under ENOSPC");
+
+    // Crash inside/after the degraded span: recovery may miss shed raw
+    // samples but must not panic, must not invent verdicts, and must not
+    // exceed the reference point count.
+    fvfs.power_cut();
+    drop(d);
+    drop(sys);
+    let (mut sys2, mut d2, _info) = resume(&dir, Some(clean_cfg())).expect("resume after ENOSPC");
+    d2.run_window(&mut sys2, to, &|| false).expect("finish window");
+    let fp = fingerprint(&mut sys2, from, to);
+    assert!(fp.points <= reference.points, "recovery invented points");
+    assert!(
+        fp.verdicts.iter().all(|v| reference.verdicts.contains(v)),
+        "verdicts {:?} outside reference {:?}",
+        fp.verdicts,
+        reference.verdicts
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Destroying the newest generation's meta (both `checkpoint.json` and the
+/// numbered copy) falls back a full generation and deterministically
+/// re-executes to the reference — through the same public API the CLI uses.
+#[test]
+fn generation_fallback_reproduces_reference() {
+    let (from, to) = window();
+    let reference = fixture().reference.clone();
+    let dir = scratch_copy("fallback");
+
+    let newest = data_files(&dir)
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().starts_with("checkpoint-"))
+                .unwrap_or(false)
+        })
+        .max()
+        .expect("numbered generations exist");
+    std::fs::write(&newest, b"garbage, not a checkpoint").expect("corrupt newest meta");
+    std::fs::write(dir.join("checkpoint.json"), b"{\"also\":\"garbage\"").expect("corrupt copy");
+
+    let report = recover_report_with(&dir, manic_vfs::real()).expect("older generation usable");
+    assert!(report.storage.bad_metas >= 2, "both damaged metas reported");
+    let (mut sys, mut d, info) = resume(&dir, Some(clean_cfg())).expect("resume falls back");
+    assert!(!info.storage.clean());
+    assert!(info.storage.bad_metas >= 2);
+    d.run_window(&mut sys, to, &|| false).expect("re-run to window end");
+    let fp = fingerprint(&mut sys, from, to);
+    assert_eq!(fp, reference, "fallback + deterministic re-execution reproduces the reference");
+    std::fs::remove_dir_all(&dir).ok();
+}

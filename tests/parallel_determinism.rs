@@ -10,7 +10,7 @@
 
 use manic_core::{resume, Durable, DurabilityConfig, System, SystemConfig};
 use manic_netsim::time::{date_to_sim, Date};
-use manic_netsim::FaultSchedule;
+use manic_netsim::{FaultEvent, FaultKind, FaultSchedule, FaultScope};
 use manic_scenario::worlds::toy;
 use manic_tsdb::wal::FsyncPolicy;
 use std::path::PathBuf;
@@ -110,6 +110,54 @@ fn parallel_matches_serial() {
 #[test]
 fn parallel_matches_serial_under_chaos() {
     run_pair(true, "chaos world");
+}
+
+/// A VP whose worker panics must not take the round down with it: the
+/// engine catches the panic, discards the VP's half-staged round, and the
+/// supervisor quarantines it with backoff — identically at every thread
+/// count, because the injected panic is a pure function of `(router, t)`.
+#[test]
+fn panicking_vp_is_quarantined_and_rounds_complete() {
+    let from = date_to_sim(Date::new(2017, 3, 1));
+    let to = from + 6 * 3600;
+    // Panic window over [from+1h, from+2h): first panic strikes the VP into
+    // a 30-minute quarantine, the re-probe at +1h30 strikes again (1h
+    // backoff), and the next attempt lands past the window — the VP comes
+    // back and finishes the run.
+    let panic_window = (from + 3600, from + 2 * 3600);
+
+    let mut serial = sys_with_threads(1);
+    let mut parallel = sys_with_threads(test_threads());
+    for sys in [&mut serial, &mut parallel] {
+        let router = sys.world.vps[0].router;
+        sys.world.net.fault.push(FaultEvent::window(
+            FaultKind::VpPanic,
+            FaultScope::Router(router),
+            panic_window.0,
+            panic_window.1,
+        ));
+    }
+
+    let r1 = serial.run_packet_mode(from, to);
+    let rn = parallel.run_packet_mode(from, to);
+    assert_eq!(r1, rn, "panicking VP: round counts diverged");
+    assert_eq!(r1, 72, "every round of the window completed despite the panics");
+
+    for (label, sys) in [("serial", &serial), ("parallel", &parallel)] {
+        let sup = &sys.vps[0].supervisor;
+        assert_eq!(sup.strikes, 2, "{label}: one strike per post-backoff attempt");
+        assert!(!sup.retired, "{label}: under max_strikes, quarantined not retired");
+        assert!(
+            sup.may_run(to),
+            "{label}: backoff expired past the window — the VP is back"
+        );
+        assert_eq!(sys.vps[1].supervisor.strikes, 0, "{label}: other VPs untouched");
+    }
+
+    let f1 = fingerprint(&mut serial, from, to);
+    let fn_ = fingerprint(&mut parallel, from, to);
+    assert!(f1.points > 0, "surviving VPs kept measuring");
+    assert_identical(&f1, &fn_, "panicking VP");
 }
 
 fn tmpdir(name: &str) -> PathBuf {

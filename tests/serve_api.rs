@@ -21,6 +21,7 @@ struct Fixture {
     addr: SocketAddr,
     strict_addr: SocketAddr,
     hub: Arc<SnapshotHub>,
+    store: Arc<manic_tsdb::Store>,
     /// A far-end link IP known to the snapshot (and, in the toy world's
     /// congested case, to the audit trail).
     far: String,
@@ -48,7 +49,8 @@ fn fixture() -> &'static Fixture {
         let server = Server::start("127.0.0.1:0", state, &cfg).expect("bind");
 
         let strict_cfg = ServeConfig { rate_limit_rps: 2, rate_limit_burst: 2, ..cfg };
-        let strict_state = Arc::new(ServeState::new(Arc::clone(&hub), store, &strict_cfg));
+        let strict_state =
+            Arc::new(ServeState::new(Arc::clone(&hub), Arc::clone(&store), &strict_cfg));
         let strict = Server::start("127.0.0.1:0", strict_state, &strict_cfg).expect("bind strict");
 
         let far = hub
@@ -61,6 +63,7 @@ fn fixture() -> &'static Fixture {
             addr: server.local_addr(),
             strict_addr: strict.local_addr(),
             hub,
+            store,
             far,
             _server: server,
             _strict: strict,
@@ -246,6 +249,48 @@ fn explain_agrees_with_audit_trail() {
         let ev = got.get("evidence").and_then(Value::as_array).expect("evidence");
         assert_eq!(ev.len(), want.evidence.len());
     }
+}
+
+#[test]
+fn health_surfaces_storage_recovery_state() {
+    // A durability-enabled server reports the storage-health block: resumes
+    // that fell back a checkpoint generation, healed snapshots, quarantined
+    // WAL ranges, and live ENOSPC-degraded mode.
+    let fx = fixture();
+    let cfg = ServeConfig::default();
+    let status = Arc::new(manic_serve::DurabilityStatus::new("every-64"));
+    status.note_recovery(24, 2, 3.5);
+    let findings = manic_core::StorageFindings {
+        fallback_generations: 1,
+        healed_snapshot: true,
+        quarantined_frames: 3,
+        quarantined_bytes: 128,
+        gap_windows: 2,
+        ..Default::default()
+    };
+    status.note_storage_findings(&findings);
+    status.set_storage_degraded(true);
+    status.note_checkpoint(36, 10_800);
+    let mut state = ServeState::new(Arc::clone(&fx.hub), Arc::clone(&fx.store), &cfg);
+    state.durability = Some(status);
+    let server = Server::start("127.0.0.1:0", Arc::new(state), &cfg).expect("bind durable");
+
+    let (code, ct, body) = get(server.local_addr(), "/api/health");
+    assert_eq!(code, 200, "{body}");
+    assert_eq!(ct, "application/json");
+    let v: Value = serde_json::from_str(&body).expect("valid JSON");
+    let d = v.get("durability").expect("durability block");
+    assert_eq!(d.get("resumed").and_then(Value::as_bool), Some(true));
+    let s = d.get("storage").expect("storage block");
+    assert_eq!(s.get("degraded").and_then(Value::as_bool), Some(true));
+    assert_eq!(s.get("fallback_generations").and_then(Value::as_i64), Some(1));
+    assert_eq!(s.get("healed_snapshot").and_then(Value::as_bool), Some(true));
+    assert_eq!(s.get("quarantined_frames").and_then(Value::as_i64), Some(3));
+    assert_eq!(s.get("quarantined_bytes").and_then(Value::as_i64), Some(128));
+    assert_eq!(s.get("gap_windows").and_then(Value::as_i64), Some(2));
+    assert_eq!(s.get("checkpoint_generation").and_then(Value::as_i64), Some(36));
+
+    server.shutdown();
 }
 
 #[test]
