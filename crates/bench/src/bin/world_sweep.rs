@@ -1,0 +1,361 @@
+//! World sweep: per-world accuracy gates over the generated world library.
+//!
+//! For each library world this sweep (a) builds it twice and hard-fails on
+//! fingerprint divergence, (b) checks the planetary structural floors,
+//! (c) measures compile time, peak-RSS proxy, and packet-engine round
+//! throughput — including a threads=1 vs threads=N store-hash equality
+//! gate — and (d) runs the full longitudinal pipeline over every scenario
+//! in the library, scoring congested-pair verdicts against the planted
+//! ground truth. Gates: precision >= 0.95 and recall >= 0.90 per scenario.
+//!
+//! Results go to `results/world_sweep.txt` (+ metrics sidecar) and the
+//! machine-readable `BENCH_world_scale.json` at the repo root. Any gate
+//! failure exits non-zero, so CI can consume this directly.
+//!
+//! Default: the `sim-5k` world (CI smoke scale: 5,000 ASes, 32 VPs). Set
+//! `WORLD_FULL=1` to also sweep `planet-20k` (20,000 ASes, 200 VPs —
+//! minutes). `WORLD_WORLDS=a,b` overrides the world list.
+
+use manic_analysis::render::text_table;
+use manic_core::{run_longitudinal, LinkDays, LongitudinalConfig, System, SystemConfig};
+use manic_netsim::time::{month_start, SECS_PER_DAY};
+use manic_netsim::AsNumber;
+use manic_scenario::World;
+use manic_worldgen::scenarios::pair_key;
+use manic_worldgen::{compile_world, scenario_library, BuiltWorld, STUDY_MONTHS};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const MIN_CONGESTED_DAYS: usize = 5;
+const PRECISION_FLOOR: f64 = 0.95;
+const RECALL_FLOOR: f64 = 0.90;
+
+/// Peak resident set size of this process in KiB (Linux `VmHWM`; 0 where
+/// /proc is unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+struct Counts {
+    observed_pairs: usize,
+    tp: usize,
+    fp: usize,
+    fn_: usize,
+}
+
+impl Counts {
+    fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 { 1.0 } else { self.tp as f64 / (self.tp + self.fp) as f64 }
+    }
+    fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 { 1.0 } else { self.tp as f64 / (self.tp + self.fn_) as f64 }
+    }
+}
+
+/// Score merged links against planted ground truth, mirroring the chaos
+/// sweep's rules: predicted = pairs at or above the day-link bar; recall is
+/// over plant pairs the run observed at all.
+fn score(links: &[LinkDays], gt: &BTreeSet<(AsNumber, AsNumber)>) -> Counts {
+    let mut observed: BTreeSet<(AsNumber, AsNumber)> = BTreeSet::new();
+    let mut predicted: BTreeSet<(AsNumber, AsNumber)> = BTreeSet::new();
+    for l in links {
+        let p = pair_key(l.host_as, l.neighbor_as);
+        if l.observed_days() > 0 {
+            observed.insert(p);
+        }
+        if l.congested_days(0.04) >= MIN_CONGESTED_DAYS {
+            predicted.insert(p);
+        }
+    }
+    let tp = predicted.intersection(gt).count();
+    let fp = predicted.len() - tp;
+    let fn_ = gt.iter().filter(|p| observed.contains(*p) && !predicted.contains(*p)).count();
+    Counts { observed_pairs: observed.len(), tp, fp, fn_ }
+}
+
+struct ScenarioResult {
+    key: &'static str,
+    counts: Counts,
+    wall_s: f64,
+}
+
+struct WorldReport {
+    name: String,
+    built: BuiltWorld,
+    compile_ms: f64,
+    rebuild_fingerprint: u64,
+    rounds_per_sec: f64,
+    thread_hashes: (u64, u64),
+    /// Process-wide `VmHWM` sampled when this world's sweep finished — a
+    /// high-water proxy, monotone across the sweep order.
+    peak_rss_kb: u64,
+    scenarios: Vec<ScenarioResult>,
+}
+
+fn study_bounds() -> (i64, i64) {
+    let from = month_start(STUDY_MONTHS.start);
+    (from, from + 60 * SECS_PER_DAY)
+}
+
+/// Six simulated hours of the packet-mode round engine at `threads`
+/// workers; returns (rounds/sec, store content hash).
+fn throughput_probe(world: World, threads: usize) -> (f64, u64) {
+    let mut sys = System::new(world, SystemConfig { threads, ..SystemConfig::default() });
+    let (from, _) = study_bounds();
+    let started = Instant::now();
+    let rounds = sys.run_packet_mode(from, from + 6 * 3600);
+    let wall = started.elapsed().as_secs_f64();
+    (rounds as f64 / wall.max(1e-9), sys.store.content_hash())
+}
+
+fn sweep_world(name: &str, failures: &mut Vec<String>) -> WorldReport {
+    let seed = manic_bench::SEED;
+    let started = Instant::now();
+    let built = compile_world(name, seed).expect("library world compiles");
+    let compile_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Determinism gate: an independent rebuild must fingerprint identically.
+    let rebuild = compile_world(name, seed).expect("library world compiles");
+    if rebuild.fingerprint != built.fingerprint {
+        failures.push(format!(
+            "{name}: fingerprint diverged across rebuilds ({:016x} vs {:016x})",
+            built.fingerprint, rebuild.fingerprint
+        ));
+    }
+
+    // Structural floors for the planetary tier.
+    if name.starts_with("planet") {
+        let st = &built.stats;
+        if st.total_ases < 20_000 || st.vps < 200 || st.interconnects < 5_000 {
+            failures.push(format!(
+                "{name}: structural floor violated (ases {}, vps {}, interconnects {})",
+                st.total_ases, st.vps, st.interconnects
+            ));
+        }
+    }
+
+    // Round-engine throughput, and the cross-thread determinism gate: the
+    // same six simulated hours at 1 worker and N workers must land the
+    // byte-identical store.
+    let steady_world = |key: &str| -> World {
+        let mut b = compile_world(name, seed).expect("library world compiles");
+        let scenario = scenario_library()
+            .into_iter()
+            .find(|s| s.key == key)
+            .expect("library scenario");
+        scenario.install(&mut b.world, seed, STUDY_MONTHS);
+        b.world
+    };
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let (rps_1, hash_1) = throughput_probe(steady_world("steady"), 1);
+    let (rps_n, hash_n) = throughput_probe(steady_world("steady"), threads);
+    if hash_1 != hash_n {
+        failures.push(format!(
+            "{name}: store hash diverged across thread counts (1: {hash_1:016x}, \
+             {threads}: {hash_n:016x})"
+        ));
+    }
+
+    // Accuracy per library scenario.
+    let (from, to) = study_bounds();
+    let mut scenarios = Vec::new();
+    for scenario in scenario_library() {
+        let mut b = compile_world(name, seed).expect("library world compiles");
+        let planted = scenario.install(&mut b.world, seed, STUDY_MONTHS);
+        let mut sys = System::new(b.world, SystemConfig::default());
+        let t = Instant::now();
+        let cfg = LongitudinalConfig::new(from, to);
+        let links = run_longitudinal(&mut sys, &cfg);
+        let wall_s = t.elapsed().as_secs_f64();
+        let counts = score(&links, &planted.gt);
+        if counts.precision() < PRECISION_FLOOR {
+            failures.push(format!(
+                "{name}/{}: precision {:.3} below {PRECISION_FLOOR}",
+                scenario.key,
+                counts.precision()
+            ));
+        }
+        if counts.recall() < RECALL_FLOOR {
+            failures.push(format!(
+                "{name}/{}: recall {:.3} below {RECALL_FLOOR}",
+                scenario.key,
+                counts.recall()
+            ));
+        }
+        manic_obs::event!(
+            manic_obs::INFO, "bench", "world_sweep_point", to,
+            world = name.to_string(),
+            scenario = scenario.key,
+            observed_pairs = counts.observed_pairs,
+            tp = counts.tp,
+            fp = counts.fp,
+            false_negatives = counts.fn_,
+        );
+        scenarios.push(ScenarioResult { key: scenario.key, counts, wall_s });
+    }
+
+    WorldReport {
+        name: name.to_string(),
+        built,
+        compile_ms,
+        rebuild_fingerprint: rebuild.fingerprint,
+        rounds_per_sec: rps_n.max(rps_1),
+        thread_hashes: (hash_1, hash_n),
+        peak_rss_kb: peak_rss_kb(),
+        scenarios,
+    }
+}
+
+fn json_report(reports: &[WorldReport], failures: &[String]) -> String {
+    let mut j = String::from("{\n  \"bench\": \"world_scale\",\n  \"worlds\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            j.push_str(",\n");
+        }
+        let st = &r.built.stats;
+        let _ = write!(
+            j,
+            "    {{\"world\": \"{}\", \"seed\": {}, \"fingerprint\": \"{:016x}\", \
+             \"ases\": {}, \"as_adjacencies\": {}, \"focus_ases\": {}, \
+             \"interconnects\": {}, \"vps\": {}, \"compact_graph_bytes\": {}, \
+             \"compile_ms\": {:.1}, \"peak_rss_kb\": {}, \"rounds_per_sec\": {:.1}, \
+             \"scenarios\": [",
+            r.name,
+            r.built.seed,
+            r.built.fingerprint,
+            st.total_ases,
+            st.as_adjacencies,
+            st.focus_ases,
+            st.interconnects,
+            st.vps,
+            st.graph_mem_bytes,
+            r.compile_ms,
+            r.peak_rss_kb,
+            r.rounds_per_sec,
+        );
+        for (k, s) in r.scenarios.iter().enumerate() {
+            if k > 0 {
+                j.push_str(", ");
+            }
+            let _ = write!(
+                j,
+                "{{\"key\": \"{}\", \"observed_pairs\": {}, \"tp\": {}, \"fp\": {}, \
+                 \"fn\": {}, \"precision\": {:.4}, \"recall\": {:.4}, \"wall_s\": {:.1}}}",
+                s.key,
+                s.counts.observed_pairs,
+                s.counts.tp,
+                s.counts.fp,
+                s.counts.fn_,
+                s.counts.precision(),
+                s.counts.recall(),
+                s.wall_s,
+            );
+        }
+        j.push_str("]}");
+    }
+    j.push_str("\n  ],\n  \"failures\": [");
+    for (i, f) in failures.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        let _ = write!(j, "\"{}\"", manic_obs::json_escape(f));
+    }
+    j.push_str("]\n}\n");
+    j
+}
+
+fn main() {
+    let mut worlds: Vec<String> = match std::env::var("WORLD_WORLDS") {
+        Ok(list) => list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect(),
+        Err(_) => vec!["sim-5k".to_string()],
+    };
+    if std::env::var("WORLD_FULL").is_ok_and(|v| v == "1")
+        && !worlds.iter().any(|w| w == "planet-20k")
+    {
+        worlds.push("planet-20k".to_string());
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut reports = Vec::new();
+    for name in &worlds {
+        reports.push(sweep_world(name, &mut failures));
+    }
+
+    let mut out = String::from(
+        "World sweep — planted-ground-truth accuracy over the generated world library\n\
+         (60-day studies; gates: precision >= 0.95, recall >= 0.90, identical\n\
+         fingerprints across rebuilds, identical stores across thread counts)\n\n",
+    );
+    let mut table = vec![vec![
+        "World".to_string(),
+        "Scenario".to_string(),
+        "Obs. pairs".to_string(),
+        "TP".to_string(),
+        "FP".to_string(),
+        "FN".to_string(),
+        "Precision".to_string(),
+        "Recall".to_string(),
+        "Wall s".to_string(),
+    ]];
+    for r in &reports {
+        for s in &r.scenarios {
+            table.push(vec![
+                r.name.clone(),
+                s.key.to_string(),
+                s.counts.observed_pairs.to_string(),
+                s.counts.tp.to_string(),
+                s.counts.fp.to_string(),
+                s.counts.fn_.to_string(),
+                format!("{:.2}", s.counts.precision()),
+                format!("{:.2}", s.counts.recall()),
+                format!("{:.1}", s.wall_s),
+            ]);
+        }
+    }
+    out.push_str(&text_table(&table));
+    for r in &reports {
+        let st = &r.built.stats;
+        let _ = writeln!(
+            out,
+            "\n{}: {} ASes ({} compiled), {} interconnects, {} VPs, \
+             compile {:.0} ms, {:.1} rounds/s, fingerprint {:016x} \
+             (rebuild {:016x}), thread hashes {:016x}/{:016x}",
+            r.name,
+            st.total_ases,
+            st.focus_ases,
+            st.interconnects,
+            st.vps,
+            r.compile_ms,
+            r.rounds_per_sec,
+            r.built.fingerprint,
+            r.rebuild_fingerprint,
+            r.thread_hashes.0,
+            r.thread_hashes.1,
+        );
+    }
+    if failures.is_empty() {
+        out.push_str("\nAll gates passed.\n");
+    } else {
+        out.push_str("\nGATE FAILURES:\n");
+        for f in &failures {
+            let _ = writeln!(out, "  {f}");
+        }
+    }
+
+    println!("{out}");
+    manic_bench::save_result("world_sweep", &out);
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(root.join("BENCH_world_scale.json"), json_report(&reports, &failures))
+        .expect("write BENCH_world_scale.json");
+
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -33,8 +33,6 @@
 
 use manic_core::{run_longitudinal, LongitudinalConfig, System, SystemConfig};
 use manic_netsim::time::{date_to_sim, format_sim, Date, SECS_PER_DAY};
-use manic_scenario::worlds::{toy, us_broadband};
-use manic_scenario::World;
 use manic_tsdb::TagSet;
 use std::fmt;
 use std::process::ExitCode;
@@ -71,7 +69,11 @@ impl fmt::Display for CliError {
             CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
             CliError::InvalidValue { flag, reason } => write!(f, "{flag}: {reason}"),
-            CliError::UnknownWorld(w) => write!(f, "unknown world '{w}' (toy|us)"),
+            CliError::UnknownWorld(w) => write!(
+                f,
+                "unknown world '{w}' (library: {})",
+                manic_worldgen::library_names().join(", ")
+            ),
             CliError::MissingVp => write!(f, "--vp required"),
             CliError::UnknownVp(vp) => write!(f, "unknown VP '{vp}' (try `manic world`)"),
             CliError::UnknownFormat(fmt) => write!(f, "unknown format '{fmt}' (json|csv)"),
@@ -142,6 +144,9 @@ struct Args {
     /// `--storage-faults <seed>:<kinds|all>`: inject disk faults into the
     /// durable layer (torture harness; kinds are `eio+enospc+torn+lie+flip`).
     storage_faults: Option<String>,
+    /// `manic world --stats`: print generator statistics (tier histogram,
+    /// determinism fingerprint) instead of the VP roster.
+    stats: bool,
 }
 
 impl Args {
@@ -166,6 +171,7 @@ impl Args {
             resume: false,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             storage_faults: None,
+            stats: false,
         };
         while let Some(flag) = argv.next() {
             let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
@@ -194,6 +200,7 @@ impl Args {
                     args.checkpoint_every = num("--checkpoint-every", val()?)?
                 }
                 "--resume" => args.resume = true,
+                "--stats" => args.stats = true,
                 "--storage-faults" => args.storage_faults = Some(val()?),
                 "--threads" => args.threads = num("--threads", val()?)?,
                 "--quiet" => args.quiet = true,
@@ -274,12 +281,13 @@ impl Args {
         SystemConfig { threads: self.threads, ..SystemConfig::default() }
     }
 
-    fn build_world(&self) -> Result<World, CliError> {
-        match self.world.as_str() {
-            "toy" => Ok(toy(self.seed)),
-            "us" => Ok(us_broadband(self.seed)),
-            other => Err(CliError::UnknownWorld(other.to_string())),
-        }
+    /// Resolve `--world` through the worldgen library (classic and
+    /// generated names alike), keeping provenance for labels and `--stats`.
+    fn build_world_full(&self) -> Result<manic_worldgen::BuiltWorld, CliError> {
+        manic_worldgen::build_world_full(&self.world, self.seed).map_err(|e| match e {
+            manic_worldgen::WorldError::Unknown { name, .. } => CliError::UnknownWorld(name),
+            other => CliError::InvalidValue { flag: "--world", reason: other.to_string() },
+        })
     }
 }
 
@@ -316,7 +324,8 @@ fn main() -> ExitCode {
             // ALLOW_PRINT: CLI usage text.
             eprintln!("error: {e}\n");
             eprintln!("usage: manic <world|links|watch|study|export|inspect|obs|run|recover> [flags]");
-            eprintln!("  manic world  [--world toy|us] [--seed N]");
+            eprintln!("  manic world  [--world NAME] [--seed N] [--stats]");
+            eprintln!("               (NAME: toy, us, or generated sim-1k|sim-5k|planet-20k|planet-50k)");
             eprintln!("  manic links  --vp <name> [--world ..] [--seed N]");
             eprintln!("  manic watch  --vp <name> [--hours H] [--world ..]");
             eprintln!("  manic study  [--days D] [--world ..] [--seed N]");
@@ -439,7 +448,7 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
 
     let Some(dir) = args.data_dir.clone() else {
         // In-memory run: same summary lines, nothing persisted.
-        let mut sys = System::new(args.build_world()?, args.system_config());
+        let mut sys = build_system(&args)?;
         let mut t = from;
         while t < to && !stop() {
             let next = (t + manic_probing::tslp::ROUND_SECS).min(to);
@@ -476,7 +485,7 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
             // restart with `--resume`.
             println!("no checkpoint in {}; starting fresh", dir.display());
         }
-        let sys = System::new(args.build_world()?, args.system_config());
+        let sys = build_system(&args)?;
         let d = manic_core::Durable::create(&sys, &args.world, args.seed, &dir, from, to, cfg)
             .map_err(durability_err)?;
         (sys, d)
@@ -601,7 +610,7 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
     // sample hits the WAL and state checkpoints on cadence; the health
     // endpoint exposes the persistence frontier.
     let (mut sys, mut durable, status) = match &args.data_dir {
-        None => (System::new(args.build_world()?, args.system_config()), None, None),
+        None => (build_system(&args)?, None, None),
         Some(dir) => {
             let dir = std::path::PathBuf::from(dir);
             let cfg = durability_config(&args);
@@ -619,7 +628,7 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
                 );
                 (sys, Some(d), Some(status))
             } else {
-                let sys = System::new(args.build_world()?, args.system_config());
+                let sys = build_system(&args)?;
                 let d = manic_core::Durable::create(
                     &sys, &args.world, args.seed, &dir, from, to, cfg,
                 )
@@ -739,8 +748,26 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_world(args: Args) -> Result<(), CliError> {
-    let w = args.build_world()?;
+    let built = args.build_world_full()?;
+    let w = &built.world;
     println!("world '{}' (seed {}):", args.world, args.seed);
+    if args.stats {
+        let st = &built.stats;
+        println!("  ASes (universe):   {}", st.total_ases);
+        println!("  AS adjacencies:    {}", st.as_adjacencies);
+        println!("  compiled ASes:     {}", st.focus_ases);
+        println!("  interdomain links: {}", st.interconnects);
+        println!("  vantage points:    {}", st.vps);
+        println!("  tiers:");
+        for (label, count) in &st.tiers {
+            println!("    {label:<8} {count}");
+        }
+        if st.graph_mem_bytes > 0 {
+            println!("  compact graph:     {} KiB", st.graph_mem_bytes / 1024);
+        }
+        println!("  fingerprint:       {:016x}", built.fingerprint);
+        return Ok(());
+    }
     println!("  ASes:              {}", w.graph.len());
     println!("  routers:           {}", w.net.topo.routers.len());
     println!("  links:             {}", w.net.topo.links.len());
@@ -752,6 +779,14 @@ fn cmd_world(args: Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Build the measurement system with its world-provenance label attached.
+fn build_system(args: &Args) -> Result<System, CliError> {
+    let built = args.build_world_full()?;
+    let mut sys = System::new(built.world, args.system_config());
+    sys.set_world_label(&built.name, built.fingerprint);
+    Ok(sys)
+}
+
 fn vp_index(sys: &System, args: &Args) -> Result<usize, CliError> {
     let name = args.vp.as_deref().ok_or(CliError::MissingVp)?;
     sys.vps
@@ -761,7 +796,7 @@ fn vp_index(sys: &System, args: &Args) -> Result<usize, CliError> {
 }
 
 fn cmd_links(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, args.system_config());
+    let mut sys = build_system(&args)?;
     let vi = vp_index(&sys, &args)?;
     let n = sys.run_bdrmap_cycle(vi, t0());
     let vp = &sys.vps[vi];
@@ -799,7 +834,7 @@ fn cmd_links(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_watch(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, args.system_config());
+    let mut sys = build_system(&args)?;
     let vi = vp_index(&sys, &args)?;
     let from = t0();
     let to = from + args.hours * 3600;
@@ -834,7 +869,7 @@ fn cmd_watch(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_study(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, args.system_config());
+    let mut sys = build_system(&args)?;
     let from = t0();
     let to = from + args.days * SECS_PER_DAY;
     let links = run_longitudinal(&mut sys, &LongitudinalConfig::new(from, to));
@@ -872,7 +907,7 @@ fn cmd_study(args: Args) -> Result<(), CliError> {
 /// §4.2's manual-inspection workflow: render an evidence dossier for every
 /// link the pipeline asserts as congested.
 fn cmd_inspect(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, args.system_config());
+    let mut sys = build_system(&args)?;
     let from = t0();
     let to = from + args.days * SECS_PER_DAY;
     let links = run_longitudinal(&mut sys, &LongitudinalConfig::new(from, to));
@@ -916,7 +951,7 @@ fn cmd_inspect(args: Args) -> Result<(), CliError> {
 /// Every `manic obs` subcommand shares this run: the CLI is one process, so
 /// "after a pipeline run" means running one here.
 fn obs_pipeline(args: &Args) -> Result<System, CliError> {
-    let mut sys = System::new(args.build_world()?, args.system_config());
+    let mut sys = build_system(args)?;
     let from = t0();
     let to = from + args.hours * 3600;
     sys.run_packet_mode(from, to);
@@ -1004,7 +1039,7 @@ fn cmd_obs(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_export(args: Args) -> Result<(), CliError> {
-    let mut sys = System::new(args.build_world()?, args.system_config());
+    let mut sys = build_system(&args)?;
     let vi = vp_index(&sys, &args)?;
     let from = t0();
     let to = from + args.hours * 3600;
@@ -1137,9 +1172,17 @@ mod tests {
     }
 
     #[test]
+    fn stats_flag_parses() {
+        let (_, a) = parse(&["world", "--world", "sim-1k", "--stats"]).unwrap();
+        assert!(a.stats);
+        let (_, a) = parse(&["world"]).unwrap();
+        assert!(!a.stats);
+    }
+
+    #[test]
     fn unknown_world_rejected_at_build() {
         let (_, a) = parse(&["world", "--world", "mars"]).unwrap();
-        assert!(a.build_world().is_err());
+        assert!(matches!(a.build_world_full(), Err(super::CliError::UnknownWorld(_))));
     }
 
     #[test]

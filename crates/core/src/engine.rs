@@ -240,7 +240,7 @@ fn supervised_vp_round(
 
 /// Drive rounds over `[from, to)`; returns the number of rounds executed.
 pub(crate) fn run_rounds(sys: &mut System, from: SimTime, to: SimTime) -> usize {
-    let System { world, store, vps, cfg } = sys;
+    let System { world, store, vps, cfg, .. } = sys;
     let cycle_secs = cfg.bdrmap_cycle_days * SECS_PER_DAY;
     let nvps = vps.len();
     let threads = cfg.threads.max(1).min(nvps.max(1));

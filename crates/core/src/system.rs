@@ -121,6 +121,10 @@ pub struct System {
     pub store: std::sync::Arc<Store>,
     pub vps: Vec<VpRuntime>,
     pub cfg: SystemConfig,
+    /// Provenance of the world this system runs — `(library name,
+    /// determinism fingerprint)` — surfaced by the serving layer's health
+    /// report. `None` for worlds built outside the library resolver.
+    pub world_label: Option<(String, u64)>,
 }
 
 impl System {
@@ -150,7 +154,23 @@ impl System {
                 active: true,
             })
             .collect();
-        System { world, store: std::sync::Arc::new(Store::new()), vps, cfg }
+        // Stripe the store to the world's scale: the far-link keyspace
+        // grows with the ground-truth roster (near/far x tslp/loss series
+        // per observed link), so planetary worlds get wider stripes while
+        // the hand-built worlds keep the classic layout.
+        let shards = manic_tsdb::recommended_shards(4 * world.gt_links.len());
+        System {
+            world,
+            store: std::sync::Arc::new(Store::with_shards(shards)),
+            vps,
+            cfg,
+            world_label: None,
+        }
+    }
+
+    /// Attach the world-provenance label surfaced in health reports.
+    pub fn set_world_label(&mut self, name: &str, fingerprint: u64) {
+        self.world_label = Some((name.to_string(), fingerprint));
     }
 
     /// Run one full bdrmap cycle for VP `vi` at time `t`: traceroute to every

@@ -26,11 +26,13 @@ pub mod artifacts;
 pub mod asgraph;
 pub mod bgp;
 pub mod compile;
+pub mod intern;
 pub mod schedule;
 pub mod worlds;
 
 pub use artifacts::Artifacts;
 pub use asgraph::{AsGraph, AsInfo, AsKind, RelKind};
+pub use intern::MetroId;
 pub use bgp::{RouteKind, Routing};
 pub use compile::{CompileConfig, CompileError, GtLink, VantagePoint, World};
 pub use schedule::{amplitude_for_duration, CongestionEpisode};

@@ -13,6 +13,7 @@
 
 use crate::asgraph::{AsGraph, AsInfo, AsKind};
 use crate::compile::{compile, CompileConfig, World};
+use crate::intern::{self, metros::*, MetroId};
 use crate::schedule::{month_schedule, CongestionEpisode};
 use manic_netsim::topo::Direction;
 use manic_netsim::traffic::DiurnalDemand;
@@ -174,18 +175,18 @@ pub mod toy_asns {
 pub fn toy(seed: u64) -> World {
     use toy_asns::*;
     let mut g = AsGraph::new();
-    let mk = |asn, name: &str, kind, pops: &[&str]| AsInfo {
+    let mk = |asn, name: &str, kind, pops: &[MetroId]| AsInfo {
         asn,
         name: name.into(),
         kind,
         org: format!("org-{name}"),
-        pops: pops.iter().map(|s| s.to_string()).collect(),
+        pops: intern::codes(pops),
     };
-    g.add_as(mk(ACME, "acme", AsKind::AccessIsp, &["nyc", "chi"]));
-    g.add_as(mk(TRANSITCO, "transitco", AsKind::Transit, &["nyc", "chi", "lax"]));
-    g.add_as(mk(CDNCO, "cdnco", AsKind::Content, &["nyc", "sjc"]));
-    g.add_as(mk(VIDCO, "vidco", AsKind::Content, &["chi", "sjc"]));
-    g.add_as(mk(STUBCO, "stubco", AsKind::Stub, &["nyc"]));
+    g.add_as(mk(ACME, "acme", AsKind::AccessIsp, &[NYC, CHI]));
+    g.add_as(mk(TRANSITCO, "transitco", AsKind::Transit, &[NYC, CHI, LAX]));
+    g.add_as(mk(CDNCO, "cdnco", AsKind::Content, &[NYC, SJC]));
+    g.add_as(mk(VIDCO, "vidco", AsKind::Content, &[CHI, SJC]));
+    g.add_as(mk(STUBCO, "stubco", AsKind::Stub, &[NYC]));
     g.add_c2p(ACME, TRANSITCO);
     g.add_c2p(CDNCO, TRANSITCO);
     g.add_c2p(VIDCO, TRANSITCO);
@@ -203,7 +204,7 @@ pub fn toy(seed: u64) -> World {
         flaky_frac: 0.0,
         ..Default::default()
     };
-    let mut world = compile(g, &[(ACME, "nyc"), (ACME, "chi")], &[], &cfg)
+    let mut world = compile(g, &[(ACME, NYC.code()), (ACME, CHI.code())], &[], &cfg)
         .expect("builtin toy world compiles");
     let episodes = vec![CongestionEpisode::new(ACME, CDNCO, 0..30, 4.0)];
     install_congestion(&mut world, &episodes);
@@ -255,84 +256,84 @@ struct UsSpec {
 fn us_graph() -> UsSpec {
     use us_asns::*;
     let mut g = AsGraph::new();
-    let mk = |asn: AsNumber, name: &str, kind, org: &str, pops: &[&str]| AsInfo {
+    let mk = |asn: AsNumber, name: &str, kind, org: &str, pops: &[MetroId]| AsInfo {
         asn,
         name: name.into(),
         kind,
         org: org.into(),
-        pops: pops.iter().map(|s| s.to_string()).collect(),
+        pops: intern::codes(pops),
     };
 
     // --- Access ISPs ---
-    let aps: Vec<(AsNumber, &str, &[&str])> = vec![
-        (COMCAST, "comcast", &["chi", "nyc", "ash", "atl", "dfw", "den", "sea", "sjc"]),
-        (ATT, "att", &["dfw", "chi", "lax", "atl", "nyc", "hou", "sjc"]),
-        (VERIZON, "verizon", &["nyc", "ash", "chi", "dfw", "lax", "bos"]),
-        (CENTURYLINK, "centurylink", &["den", "sea", "phx", "chi", "dfw"]),
-        (COX, "cox", &["phx", "atl", "ash", "lax"]),
-        (CHARTER, "charter", &["lax", "den", "atl", "nyc"]),
-        (TWC, "twc", &["nyc", "lax", "dfw", "chi"]),
-        (RCN, "rcn", &["nyc", "bos", "chi"]),
+    let aps: Vec<(AsNumber, &str, &[MetroId])> = vec![
+        (COMCAST, "comcast", &[CHI, NYC, ASH, ATL, DFW, DEN, SEA, SJC]),
+        (ATT, "att", &[DFW, CHI, LAX, ATL, NYC, HOU, SJC]),
+        (VERIZON, "verizon", &[NYC, ASH, CHI, DFW, LAX, BOS]),
+        (CENTURYLINK, "centurylink", &[DEN, SEA, PHX, CHI, DFW]),
+        (COX, "cox", &[PHX, ATL, ASH, LAX]),
+        (CHARTER, "charter", &[LAX, DEN, ATL, NYC]),
+        (TWC, "twc", &[NYC, LAX, DFW, CHI]),
+        (RCN, "rcn", &[NYC, BOS, CHI]),
     ];
     for (asn, name, pops) in &aps {
         g.add_as(mk(*asn, name, AsKind::AccessIsp, name, pops));
     }
     // TWC sibling AS (same org — exercises the §3.2 sibling handling).
-    g.add_as(mk(TWC_SIBLING, "twc-rr", AsKind::AccessIsp, "twc", &["nyc", "chi"]));
+    g.add_as(mk(TWC_SIBLING, "twc-rr", AsKind::AccessIsp, "twc", &[NYC, CHI]));
 
     // --- Transit providers ---
-    let tier1: Vec<(AsNumber, &str, &[&str])> = vec![
-        (LEVEL3, "level3", &["den", "chi", "nyc", "ash", "atl", "dfw", "lax", "sjc", "sea"]),
-        (TATA, "tata", &["nyc", "chi", "ash", "lax", "sjc"]),
-        (NTT, "ntt", &["sjc", "sea", "chi", "nyc", "ash", "dfw"]),
-        (TELIA, "telia", &["nyc", "chi", "ash", "lon"]),
-        (COGENT, "cogent", &["ash", "chi", "dfw", "lax", "nyc"]),
-        (VODAFONE, "vodafone", &["nyc", "ash", "lon"]),
-        (AsNumber(1239), "sprint", &["ash", "chi", "dfw", "sea"]),
-        (AsNumber(3320), "dtag", &["nyc", "fra"]),
-        (AsNumber(5511), "orange", &["nyc", "lon"]),
-        (AsNumber(6762), "seabone", &["nyc", "mia"]),
+    let tier1: Vec<(AsNumber, &str, &[MetroId])> = vec![
+        (LEVEL3, "level3", &[DEN, CHI, NYC, ASH, ATL, DFW, LAX, SJC, SEA]),
+        (TATA, "tata", &[NYC, CHI, ASH, LAX, SJC]),
+        (NTT, "ntt", &[SJC, SEA, CHI, NYC, ASH, DFW]),
+        (TELIA, "telia", &[NYC, CHI, ASH, LON]),
+        (COGENT, "cogent", &[ASH, CHI, DFW, LAX, NYC]),
+        (VODAFONE, "vodafone", &[NYC, ASH, LON]),
+        (AsNumber(1239), "sprint", &[ASH, CHI, DFW, SEA]),
+        (AsNumber(3320), "dtag", &[NYC, FRA]),
+        (AsNumber(5511), "orange", &[NYC, LON]),
+        (AsNumber(6762), "seabone", &[NYC, MIA]),
     ];
-    let tier2: Vec<(AsNumber, &str, &[&str])> = vec![
-        (XO, "xo", &["nyc", "chi", "dfw", "lax", "ash"]),
-        (ZAYO, "zayo", &["den", "chi", "nyc", "sea", "lax"]),
-        (AsNumber(3257), "gtt", &["nyc", "ash", "chi"]),
-        (AsNumber(6939), "hurricane", &["sjc", "chi", "ash"]),
-        (AsNumber(4323), "twtelecom", &["den", "dfw", "atl"]),
-        (AsNumber(7029), "windstream", &["atl", "dfw"]),
-        (AsNumber(3491), "pccw", &["sjc", "lax"]),
+    let tier2: Vec<(AsNumber, &str, &[MetroId])> = vec![
+        (XO, "xo", &[NYC, CHI, DFW, LAX, ASH]),
+        (ZAYO, "zayo", &[DEN, CHI, NYC, SEA, LAX]),
+        (AsNumber(3257), "gtt", &[NYC, ASH, CHI]),
+        (AsNumber(6939), "hurricane", &[SJC, CHI, ASH]),
+        (AsNumber(4323), "twtelecom", &[DEN, DFW, ATL]),
+        (AsNumber(7029), "windstream", &[ATL, DFW]),
+        (AsNumber(3491), "pccw", &[SJC, LAX]),
     ];
     for (asn, name, pops) in tier1.iter().chain(&tier2) {
         g.add_as(mk(*asn, name, AsKind::Transit, name, pops));
     }
 
     // --- Content providers ---
-    let content: Vec<(AsNumber, &str, &[&str])> = vec![
-        (GOOGLE, "google", &["sjc", "nyc", "chi", "ash", "atl", "dfw", "lax", "sea"]),
-        (NETFLIX, "netflix", &["sjc", "ash", "chi", "lax", "nyc"]),
-        (AsNumber(20940), "akamai", &["nyc", "chi", "ash", "lax"]),
-        (AsNumber(54113), "fastly", &["sjc", "nyc", "chi"]),
-        (AsNumber(13335), "cloudflare", &["sjc", "ash", "chi"]),
-        (AsNumber(16509), "amazon", &["ash", "sjc", "chi", "dfw"]),
-        (AsNumber(8075), "microsoft", &["ash", "chi", "sjc"]),
-        (AsNumber(714), "apple", &["sjc", "ash"]),
-        (AsNumber(32934), "facebook", &["ash", "sjc", "chi"]),
-        (AsNumber(22822), "limelight", &["phx", "chi", "nyc"]),
-        (AsNumber(15133), "edgecast", &["lax", "nyc"]),
-        (AsNumber(10310), "yahoo", &["sjc", "ash"]),
-        (AsNumber(46489), "twitch", &["sjc", "nyc"]),
-        (AsNumber(32590), "valve", &["sea", "ash"]),
-        (AsNumber(19679), "dropbox", &["sjc", "nyc"]),
+    let content: Vec<(AsNumber, &str, &[MetroId])> = vec![
+        (GOOGLE, "google", &[SJC, NYC, CHI, ASH, ATL, DFW, LAX, SEA]),
+        (NETFLIX, "netflix", &[SJC, ASH, CHI, LAX, NYC]),
+        (AsNumber(20940), "akamai", &[NYC, CHI, ASH, LAX]),
+        (AsNumber(54113), "fastly", &[SJC, NYC, CHI]),
+        (AsNumber(13335), "cloudflare", &[SJC, ASH, CHI]),
+        (AsNumber(16509), "amazon", &[ASH, SJC, CHI, DFW]),
+        (AsNumber(8075), "microsoft", &[ASH, CHI, SJC]),
+        (AsNumber(714), "apple", &[SJC, ASH]),
+        (AsNumber(32934), "facebook", &[ASH, SJC, CHI]),
+        (AsNumber(22822), "limelight", &[PHX, CHI, NYC]),
+        (AsNumber(15133), "edgecast", &[LAX, NYC]),
+        (AsNumber(10310), "yahoo", &[SJC, ASH]),
+        (AsNumber(46489), "twitch", &[SJC, NYC]),
+        (AsNumber(32590), "valve", &[SEA, ASH]),
+        (AsNumber(19679), "dropbox", &[SJC, NYC]),
     ];
     for (asn, name, pops) in &content {
         g.add_as(mk(*asn, name, AsKind::Content, name, pops));
     }
 
     // --- International access ISPs hosting non-US VPs ---
-    let intl: Vec<(AsNumber, &str, &[&str])> = vec![
-        (AsNumber(2856), "bt", &["lon"]),
-        (AsNumber(5089), "virgin", &["lon"]),
-        (AsNumber(1136), "kpn", &["ams"]),
+    let intl: Vec<(AsNumber, &str, &[MetroId])> = vec![
+        (AsNumber(2856), "bt", &[LON]),
+        (AsNumber(5089), "virgin", &[LON]),
+        (AsNumber(1136), "kpn", &[AMS]),
     ];
     for (asn, name, pops) in &intl {
         g.add_as(mk(*asn, name, AsKind::AccessIsp, name, pops));
@@ -344,8 +345,9 @@ fn us_graph() -> UsSpec {
     let mut stubs = Vec::new();
     for (i, &parent) in stub_parents.iter().enumerate() {
         let asn = AsNumber(64600 + i as u32);
-        let parent_pop = g.info(parent).pops[0].clone();
-        g.add_as(mk(asn, &format!("stub{i}"), AsKind::Stub, &format!("stub{i}"), &[&parent_pop]));
+        let parent_pop = intern::intern_metro(&g.info(parent).pops[0])
+            .expect("parent pops are interned metros");
+        g.add_as(mk(asn, &format!("stub{i}"), AsKind::Stub, &format!("stub{i}"), &[parent_pop]));
         stubs.push((asn, parent));
     }
 
@@ -543,40 +545,41 @@ pub fn us_schedule() -> Vec<CongestionEpisode> {
 /// §3's December 2017 deployment scale) plus 3 international.
 pub fn us_vp_placements() -> Vec<(AsNumber, &'static str)> {
     use us_asns::*;
-    vec![
-        (COMCAST, "chi"),
-        (COMCAST, "nyc"),
-        (COMCAST, "ash"),
-        (COMCAST, "atl"),
-        (COMCAST, "dfw"),
-        (COMCAST, "den"),
-        (COMCAST, "sea"),
-        (COMCAST, "sjc"),
-        (ATT, "dfw"),
-        (ATT, "chi"),
-        (ATT, "lax"),
-        (ATT, "atl"),
-        (ATT, "nyc"),
-        (VERIZON, "nyc"),
-        (VERIZON, "ash"),
-        (VERIZON, "chi"),
-        (VERIZON, "dfw"),
-        (TWC, "nyc"),
-        (TWC, "lax"),
-        (TWC, "dfw"),
-        (CHARTER, "lax"),
-        (CHARTER, "den"),
-        (CHARTER, "atl"),
-        (COX, "phx"),
-        (COX, "atl"),
-        (CENTURYLINK, "den"),
-        (CENTURYLINK, "sea"),
-        (RCN, "nyc"),
-        (RCN, "bos"),
-        (AsNumber(2856), "lon"),
-        (AsNumber(5089), "lon"),
-        (AsNumber(1136), "ams"),
-    ]
+    let ids: Vec<(AsNumber, MetroId)> = vec![
+        (COMCAST, CHI),
+        (COMCAST, NYC),
+        (COMCAST, ASH),
+        (COMCAST, ATL),
+        (COMCAST, DFW),
+        (COMCAST, DEN),
+        (COMCAST, SEA),
+        (COMCAST, SJC),
+        (ATT, DFW),
+        (ATT, CHI),
+        (ATT, LAX),
+        (ATT, ATL),
+        (ATT, NYC),
+        (VERIZON, NYC),
+        (VERIZON, ASH),
+        (VERIZON, CHI),
+        (VERIZON, DFW),
+        (TWC, NYC),
+        (TWC, LAX),
+        (TWC, DFW),
+        (CHARTER, LAX),
+        (CHARTER, DEN),
+        (CHARTER, ATL),
+        (COX, PHX),
+        (COX, ATL),
+        (CENTURYLINK, DEN),
+        (CENTURYLINK, SEA),
+        (RCN, NYC),
+        (RCN, BOS),
+        (AsNumber(2856), LON),
+        (AsNumber(5089), LON),
+        (AsNumber(1136), AMS),
+    ];
+    ids.into_iter().map(|(asn, m)| (asn, m.code())).collect()
 }
 
 /// Build the full US-broadband world with its congestion schedule installed.
@@ -590,7 +593,7 @@ pub fn us_broadband(seed: u64) -> World {
         // Comcast Chicago VP cross the (congested) Chicago link on the
         // forward path while download data returns over the (clean) Ashburn
         // link — the paper's Link 2 asymmetry (§5.3).
-        secondary_hosts: vec![(TATA, "ash".to_string())],
+        secondary_hosts: vec![(TATA, ASH.code().to_string())],
         ..Default::default()
     };
     let mut world = compile(spec.graph, &us_vp_placements(), &ixp_pairs, &cfg)

@@ -29,6 +29,9 @@ pub struct Snapshot {
     pub links_json: Arc<Vec<u8>>,
     /// Pre-rendered `/api/health` body.
     pub health_json: Arc<Vec<u8>>,
+    /// World provenance `(library name, determinism fingerprint)`, if the
+    /// system carries one.
+    pub world: Option<(String, u64)>,
 }
 
 fn json_opt_f64(v: Option<f64>) -> String {
@@ -60,7 +63,7 @@ fn health_name(state: HealthState) -> &'static str {
 impl Snapshot {
     /// The epoch-0 placeholder served before the first publish.
     pub fn empty() -> Snapshot {
-        Snapshot::assemble(0, 0, Vec::new(), Vec::new())
+        Snapshot::assemble(0, 0, Vec::new(), Vec::new(), None)
     }
 
     /// Capture the current system state. Reads links, health, and the
@@ -70,7 +73,7 @@ impl Snapshot {
     pub fn capture(system: &System, now: i64, lookback: i64, epoch: u64) -> Snapshot {
         let links = system.all_link_statuses(now, lookback);
         let health = system.health_report();
-        Snapshot::assemble(epoch, now, links, health)
+        Snapshot::assemble(epoch, now, links, health, system.world_label.clone())
     }
 
     fn assemble(
@@ -78,6 +81,7 @@ impl Snapshot {
         sim_now: i64,
         links: Vec<LinkStatus>,
         health: Vec<TaskHealthStatus>,
+        world: Option<(String, u64)>,
     ) -> Snapshot {
         // Latest reactive (level-shift) verdict per link label, from the
         // audit trail the inference layer maintains.
@@ -122,7 +126,19 @@ impl Snapshot {
         }
         lj.push_str("]}");
 
-        let mut hj = format!("{{\"epoch\":{epoch},\"sim_now\":{sim_now},\"tasks\":[");
+        // World provenance lets a dashboard (or CI smoke probe) confirm it
+        // is looking at the run it thinks it is: same name, same
+        // deterministic fingerprint.
+        let world_json = match &world {
+            Some((name, fp)) => format!(
+                "{{\"name\":\"{}\",\"fingerprint\":\"{fp:016x}\"}}",
+                manic_obs::json_escape(name)
+            ),
+            None => "null".to_string(),
+        };
+        let mut hj = format!(
+            "{{\"epoch\":{epoch},\"sim_now\":{sim_now},\"world\":{world_json},\"tasks\":["
+        );
         for (i, t) in health.iter().enumerate() {
             if i > 0 {
                 hj.push(',');
@@ -147,6 +163,7 @@ impl Snapshot {
             link_ips,
             links_json: Arc::new(lj.into_bytes()),
             health_json: Arc::new(hj.into_bytes()),
+            world,
         }
     }
 }
@@ -216,7 +233,19 @@ mod tests {
         let lj = String::from_utf8(s.links_json.to_vec()).unwrap();
         assert_eq!(lj, "{\"epoch\":0,\"sim_now\":0,\"links\":[]}");
         let hj = String::from_utf8(s.health_json.to_vec()).unwrap();
-        assert_eq!(hj, "{\"epoch\":0,\"sim_now\":0,\"tasks\":[]}");
+        assert_eq!(hj, "{\"epoch\":0,\"sim_now\":0,\"world\":null,\"tasks\":[]}");
+    }
+
+    #[test]
+    fn labeled_snapshot_renders_world_provenance() {
+        let s = Snapshot::assemble(0, 0, Vec::new(), Vec::new(), Some(("sim-5k".into(), 0xABCD)));
+        let hj = String::from_utf8(s.health_json.to_vec()).unwrap();
+        assert_eq!(
+            hj,
+            "{\"epoch\":0,\"sim_now\":0,\
+             \"world\":{\"name\":\"sim-5k\",\"fingerprint\":\"000000000000abcd\"},\
+             \"tasks\":[]}"
+        );
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub use key::{SeriesKey, TagSet};
 pub use lineproto::{format_key, format_line, parse_key, parse_line, LineProtoError};
 pub use quality::{QualityFlags, QualityLog};
 pub use series::{Aggregate, Point, Series};
-pub use store::{LatestCell, LatestHandle, Store, TagFilter};
+pub use store::{recommended_shards, LatestCell, LatestHandle, Store, TagFilter};
 pub use wal::{FsyncPolicy, ReplayReport, Wal, WalCodecError, WalPosition, WalRecord};
 pub use wal::{replay_dir_range, replay_segment_file_with};

@@ -10,7 +10,17 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
+/// Default shard count — the pre-planetary operating point.
 const SHARDS: usize = 16;
+
+/// Shard count sized to an expected far-link keyspace: roughly one shard per
+/// 128 concurrently-written series, kept to a power of two between 16 and
+/// 256. Planetary worlds (tens of thousands of observed links) get wider
+/// stripes; the hand-built worlds keep the classic 16.
+pub fn recommended_shards(expected_series: usize) -> usize {
+    let want = (expected_series / 128).clamp(16, 256);
+    want.next_power_of_two().min(256)
+}
 
 /// Seqlock-published most-recent sample of one series.
 ///
@@ -119,12 +129,25 @@ impl Default for Store {
 
 impl Store {
     pub fn new() -> Self {
+        Self::with_shards(SHARDS)
+    }
+
+    /// A store striped over `n` shards (rounded up to at least 1). Shard
+    /// count affects only contention, never contents: dumps, snapshots, and
+    /// hashes iterate keys in sorted order regardless of striping.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
         Store {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            quality: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            latest: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            quality: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            latest: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             wal: OnceLock::new(),
         }
+    }
+
+    /// Number of stripes this store was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Attach a write-ahead log; from here on every mutation is journaled
@@ -139,24 +162,24 @@ impl Store {
         self.wal.get()
     }
 
-    fn shard_index(key: &SeriesKey) -> usize {
+    fn shard_index(&self, key: &SeriesKey) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        (h.finish() as usize) % SHARDS
+        (h.finish() as usize) % self.shards.len()
     }
 
     fn shard(&self, key: &SeriesKey) -> &RwLock<HashMap<SeriesKey, Series>> {
-        &self.shards[Self::shard_index(key)]
+        &self.shards[self.shard_index(key)]
     }
 
     /// The latest cell of `key`, created on first use. Must be called while
     /// holding the points shard write lock for `key` so that cell publishes
     /// stay single-writer.
     fn latest_cell(&self, key: &SeriesKey) -> LatestHandle {
-        if let Some(cell) = self.latest[Self::shard_index(key)].read().unwrap().get(key) {
+        if let Some(cell) = self.latest[self.shard_index(key)].read().unwrap().get(key) {
             return Arc::clone(cell);
         }
-        let mut map = self.latest[Self::shard_index(key)].write().unwrap();
+        let mut map = self.latest[self.shard_index(key)].write().unwrap();
         Arc::clone(map.entry(key.clone()).or_default())
     }
 
@@ -208,7 +231,7 @@ impl Store {
     /// itself is read via a seqlock. Reflects the highest-timestamp sample
     /// ever written, independent of retention trimming.
     pub fn latest(&self, key: &SeriesKey) -> Option<Point> {
-        self.latest[Self::shard_index(key)]
+        self.latest[self.shard_index(key)]
             .read()
             .unwrap()
             .get(key)
@@ -218,7 +241,7 @@ impl Store {
     /// Cloneable handle for repeated [`Self::latest`]-style reads of one
     /// series; `None` until the series receives its first point.
     pub fn latest_handle(&self, key: &SeriesKey) -> Option<LatestHandle> {
-        self.latest[Self::shard_index(key)].read().unwrap().get(key).map(Arc::clone)
+        self.latest[self.shard_index(key)].read().unwrap().get(key).map(Arc::clone)
     }
 
     /// Number of distinct series.
@@ -331,7 +354,7 @@ impl Store {
         if let Some(wal) = self.wal.get() {
             wal.append(WalRecord::Annotate { key: key.clone(), from, to, flags });
         }
-        let mut shard = self.quality[Self::shard_index(key)].write().unwrap();
+        let mut shard = self.quality[self.shard_index(key)].write().unwrap();
         shard.entry(key.clone()).or_default().annotate(from, to, flags);
     }
 
@@ -358,7 +381,7 @@ impl Store {
 
     /// All annotation windows of one series, `(from, to, flags)`.
     pub fn quality_windows(&self, key: &SeriesKey) -> Vec<(i64, i64, QualityFlags)> {
-        let shard = self.quality[Self::shard_index(key)].read().unwrap();
+        let shard = self.quality[self.shard_index(key)].read().unwrap();
         shard.get(key).map(|l| l.windows().to_vec()).unwrap_or_default()
     }
 
@@ -374,7 +397,7 @@ impl Store {
         if bin_secs <= 0 || end <= start {
             return Vec::new();
         }
-        let shard = self.quality[Self::shard_index(key)].read().unwrap();
+        let shard = self.quality[self.shard_index(key)].read().unwrap();
         match shard.get(key) {
             Some(l) => l.dense(start, end, bin_secs),
             None => {
@@ -516,6 +539,33 @@ mod tests {
 
     fn key(vp: &str, link: &str, end: &str) -> SeriesKey {
         SeriesKey::with_tags("tslp", &[("vp", vp), ("link", link), ("end", end)])
+    }
+
+    #[test]
+    fn shard_count_never_changes_contents() {
+        // Identical writes into differently-striped stores must hash, dump,
+        // and export identically — striping is a contention knob only.
+        let wide = Store::with_shards(64);
+        let narrow = Store::with_shards(1);
+        for i in 0..40 {
+            let k = key(&format!("vp{}", i % 3), &format!("L{i}"), "far");
+            wide.write(&k, i as i64 * 300, i as f64);
+            narrow.write(&k, i as i64 * 300, i as f64);
+        }
+        assert_eq!(wide.shard_count(), 64);
+        assert_eq!(narrow.shard_count(), 1);
+        assert_eq!(wide.content_hash(), narrow.content_hash());
+    }
+
+    #[test]
+    fn recommended_shards_scales_with_keyspace() {
+        assert_eq!(recommended_shards(0), 16);
+        assert_eq!(recommended_shards(2_000), 16);
+        assert_eq!(recommended_shards(10_000), 128);
+        assert_eq!(recommended_shards(1_000_000), 256);
+        for n in [0, 100, 5_000, 50_000, 1 << 20] {
+            assert!(recommended_shards(n).is_power_of_two());
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! String interner for the compact topology.
+//!
+//! A planetary graph holds tens of thousands of AS names and org labels;
+//! storing each as an owned `String` per node costs a heap allocation and
+//! ~24 bytes of header apiece. The interner stores each distinct string once
+//! and hands out dense `u32` symbols — the graph's name/org columns are then
+//! flat `Vec<Sym>` arrays.
+
+use std::collections::HashMap;
+
+/// Symbol: index into the interner's string table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+/// Append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its stable symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its string.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (string payloads + table slots).
+    pub fn mem_bytes(&self) -> usize {
+        let payload: usize = self.strings.iter().map(|s| s.len()).sum();
+        payload * 2 + self.strings.len() * (std::mem::size_of::<String>() + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes_and_round_trips() {
+        let mut i = Interner::new();
+        let a = i.intern("tata");
+        let b = i.intern("ntt");
+        let a2 = i.intern("tata");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "tata");
+        assert_eq!(i.resolve(b), "ntt");
+        assert_eq!(i.len(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Lazy per-destination Gao-Rexford routing over the compact graph.
+//!
+//! `manic_scenario::Routing::compute` materializes a dense all-pairs table —
+//! at 20k ASes that is 400M routes, far past any memory budget. The planetary
+//! pipeline never needs all pairs: the focus compiler needs routes toward the
+//! ~190 compiled ASes, and the structure tests need routes toward planted
+//! interconnects. [`LazyRoutes`] computes one destination's table on first
+//! use (a three-phase BFS, `O(V + E)`) and caches it, so total cost scales
+//! with destinations actually asked about.
+//!
+//! The phase structure, preference order, and tie-breaks mirror
+//! `manic_scenario::bgp` exactly: customer > peer > provider, then shorter
+//! AS path, then lowest next-hop ASN.
+
+use crate::graph::{CompactGraph, NodeId, Rel};
+use std::collections::{HashMap, VecDeque};
+
+/// How the selected route was learned; lower = more preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Learned {
+    Origin,
+    Customer,
+    Peer,
+    Provider,
+}
+
+/// Route of one source node toward the table's destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    pub learned: Learned,
+    pub path_len: u32,
+    pub next_hop: NodeId,
+}
+
+/// On-demand routing tables, one per destination asked about.
+pub struct LazyRoutes<'g> {
+    g: &'g CompactGraph,
+    cache: HashMap<NodeId, Vec<Option<Entry>>>,
+}
+
+impl<'g> LazyRoutes<'g> {
+    pub fn new(g: &'g CompactGraph) -> LazyRoutes<'g> {
+        LazyRoutes { g, cache: HashMap::new() }
+    }
+
+    /// Number of destination tables computed so far — the laziness meter.
+    pub fn tables_computed(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The full table toward `dst`, computed on first use.
+    pub fn table(&mut self, dst: NodeId) -> &[Option<Entry>] {
+        if !self.cache.contains_key(&dst) {
+            let table = compute_for(self.g, dst);
+            self.cache.insert(dst, table);
+        }
+        &self.cache[&dst]
+    }
+
+    /// The route `src` uses toward `dst`, if reachable.
+    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Entry> {
+        self.table(dst)[src as usize]
+    }
+
+    /// Node-id path from `src` to `dst`, inclusive. Panics on loops, which
+    /// the computation cannot produce.
+    pub fn path(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let e = self.route(cur, dst)?;
+            let next = if e.learned == Learned::Origin { return None } else { e.next_hop };
+            assert!(!path.contains(&next), "routing loop at node {next} toward {dst}");
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+}
+
+fn better(incumbent: Option<Entry>, cand: Entry, g: &CompactGraph) -> bool {
+    match incumbent {
+        None => true,
+        Some(inc) => {
+            (cand.learned, cand.path_len, g.asn(cand.next_hop).0)
+                < (inc.learned, inc.path_len, g.asn(inc.next_hop).0)
+        }
+    }
+}
+
+/// Neighbors of `n` with relationship `want`, sorted by ASN. Node ids follow
+/// the generator's ASN plan, so id order is ASN order; the sort is kept as a
+/// guard for hand-built graphs.
+fn rel_neighbors(g: &CompactGraph, n: NodeId, want: Rel) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = g
+        .neighbors(n)
+        .iter()
+        .filter(|(_, r)| *r == want)
+        .map(|(m, _)| *m)
+        .collect();
+    out.sort_unstable_by_key(|&m| g.asn(m).0);
+    out
+}
+
+/// Three-phase BFS for one destination; mirrors
+/// `manic_scenario::bgp::Routing::compute_for`.
+fn compute_for(g: &CompactGraph, dst: NodeId) -> Vec<Option<Entry>> {
+    let mut best: Vec<Option<Entry>> = vec![None; g.len()];
+    best[dst as usize] = Some(Entry { learned: Learned::Origin, path_len: 0, next_hop: dst });
+
+    // Phase 1 — customer routes propagate upward (customer -> provider).
+    let mut queue = VecDeque::from([dst]);
+    while let Some(cur) = queue.pop_front() {
+        let cur_route = best[cur as usize].expect("queued nodes are routed");
+        for p in rel_neighbors(g, cur, Rel::Provider) {
+            let cand = Entry {
+                learned: Learned::Customer,
+                path_len: cur_route.path_len + 1,
+                next_hop: cur,
+            };
+            if better(best[p as usize], cand, g) {
+                best[p as usize] = Some(cand);
+                queue.push_back(p);
+            }
+        }
+    }
+
+    // Phase 2 — peer routes extend one hop off any customer/origin holder.
+    let mut holders: Vec<NodeId> = best
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_some_and(|e| e.learned <= Learned::Customer))
+        .map(|(i, _)| i as NodeId)
+        .collect();
+    holders.sort_unstable_by_key(|&n| g.asn(n).0);
+    for holder in holders {
+        let route = best[holder as usize].expect("holder is routed");
+        for peer in rel_neighbors(g, holder, Rel::Peer) {
+            let cand = Entry {
+                learned: Learned::Peer,
+                path_len: route.path_len + 1,
+                next_hop: holder,
+            };
+            if better(best[peer as usize], cand, g) {
+                best[peer as usize] = Some(cand);
+            }
+        }
+    }
+
+    // Phase 3 — provider routes propagate downward (provider -> customer).
+    let mut frontier: Vec<NodeId> = best
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_some())
+        .map(|(i, _)| i as NodeId)
+        .collect();
+    frontier.sort_unstable_by_key(|&n| (best[n as usize].unwrap().path_len, g.asn(n).0));
+    let mut queue: VecDeque<NodeId> = frontier.into();
+    while let Some(cur) = queue.pop_front() {
+        let cur_route = best[cur as usize].expect("queued nodes are routed");
+        for c in rel_neighbors(g, cur, Rel::Customer) {
+            let cand = Entry {
+                learned: Learned::Provider,
+                path_len: cur_route.path_len + 1,
+                next_hop: cur,
+            };
+            if better(best[c as usize], cand, g) {
+                best[c as usize] = Some(cand);
+                queue.push_back(c);
+            }
+        }
+    }
+
+    best
+}
+
+/// Valley-freedom of a node-id path: zero or more up (customer->provider)
+/// steps, at most one peer step, then zero or more down steps.
+pub fn valley_free(g: &CompactGraph, path: &[NodeId]) -> bool {
+    #[derive(PartialEq, PartialOrd)]
+    enum Phase {
+        Up,
+        Peered,
+        Down,
+    }
+    let mut phase = Phase::Up;
+    for w in path.windows(2) {
+        let Some(rel) = g.rel(w[0], w[1]) else { return false };
+        match rel {
+            Rel::Provider => {
+                if phase > Phase::Up {
+                    return false;
+                }
+            }
+            Rel::Peer => {
+                if phase > Phase::Up {
+                    return false;
+                }
+                phase = Phase::Peered;
+            }
+            Rel::Customer => phase = Phase::Down,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, Tier};
+    use manic_netsim::AsNumber;
+    use manic_scenario::intern::metros::*;
+
+    /// The same motif as `manic_scenario::bgp`'s tests:
+    /// T1 -- T2 peers; A, B customers of T1; C customer of T2; S customer of
+    /// A; A peers with C.
+    fn world() -> (CompactGraph, [NodeId; 6]) {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_node(AsNumber(1), "t1", Tier::Tier1, vec![NYC]);
+        let t2 = b.add_node(AsNumber(2), "t2", Tier::Tier1, vec![NYC]);
+        let a = b.add_node(AsNumber(10), "a", Tier::Access, vec![NYC]);
+        let bb = b.add_node(AsNumber(11), "b", Tier::Access, vec![NYC]);
+        let c = b.add_node(AsNumber(12), "c", Tier::Content, vec![NYC]);
+        let s = b.add_node(AsNumber(20), "s", Tier::Stub, vec![NYC]);
+        b.add_p2p(t1, t2);
+        b.add_c2p(a, t1);
+        b.add_c2p(bb, t1);
+        b.add_c2p(c, t2);
+        b.add_c2p(s, a);
+        b.add_p2p(a, c);
+        (b.freeze(), [t1, t2, a, bb, c, s])
+    }
+
+    #[test]
+    fn matches_dense_reference_semantics() {
+        let (g, [t1, t2, a, bb, c, s]) = world();
+        let mut r = LazyRoutes::new(&g);
+        // Customer route preferred at T1 toward S.
+        let e = r.route(t1, s).unwrap();
+        assert_eq!(e.learned, Learned::Customer);
+        assert_eq!(e.next_hop, a);
+        // Peer beats provider at A toward C.
+        assert_eq!(r.route(a, c).unwrap().learned, Learned::Peer);
+        // B -> C is the provider route across the T1-T2 peering.
+        assert_eq!(r.path(bb, c).unwrap(), vec![bb, t1, t2, c]);
+        // Peer routes are not transited: T1 reaches C via T2, not via A.
+        assert_eq!(r.path(t1, c).unwrap(), vec![t1, t2, c]);
+        // S uses A's exported peer route.
+        assert_eq!(r.path(s, c).unwrap(), vec![s, a, c]);
+        // Only the tables actually touched were computed.
+        assert_eq!(r.tables_computed(), 2);
+    }
+
+    #[test]
+    fn all_paths_valley_free() {
+        let (g, nodes) = world();
+        let mut r = LazyRoutes::new(&g);
+        for &src in &nodes {
+            for &dst in &nodes {
+                if src == dst {
+                    continue;
+                }
+                let path = r.path(src, dst).expect("connected");
+                assert!(valley_free(&g, &path), "valley in {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn valley_detector_rejects_peer_then_up() {
+        let (g, [_, t2, a, _, c, s]) = world();
+        assert!(!valley_free(&g, &[s, a, c, t2]));
+        assert!(!valley_free(&g, &[a, c, t2]));
+        assert!(valley_free(&g, &[s, a, c]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(AsNumber(1), "x", Tier::Stub, vec![NYC]);
+        let y = b.add_node(AsNumber(2), "y", Tier::Stub, vec![NYC]);
+        let g = b.freeze();
+        let mut r = LazyRoutes::new(&g);
+        assert!(r.route(x, y).is_none());
+        assert!(r.path(x, y).is_none());
+    }
+}
