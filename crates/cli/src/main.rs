@@ -147,6 +147,13 @@ struct Args {
     /// `manic world --stats`: print generator statistics (tier histogram,
     /// determinism fingerprint) instead of the VP roster.
     stats: bool,
+    /// `manic serve --max-conns N`: open-connection budget (0 = unlimited).
+    max_conns: usize,
+    /// `manic serve --request-timeout S`: header-read deadline in seconds.
+    request_timeout: u64,
+    /// `manic serve --shed-queue-depth N`: accept-queue depth beyond which
+    /// non-priority requests are shed (0 disables depth-based shedding).
+    shed_queue_depth: usize,
 }
 
 impl Args {
@@ -172,6 +179,9 @@ impl Args {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             storage_faults: None,
             stats: false,
+            max_conns: manic_serve::OverloadConfig::default().max_conns,
+            request_timeout: 2,
+            shed_queue_depth: manic_serve::OverloadConfig::default().shed_queue_depth,
         };
         while let Some(flag) = argv.next() {
             let mut val = || argv.next().ok_or_else(|| CliError::MissingValue(flag.clone()));
@@ -193,6 +203,13 @@ impl Args {
                 "--addr" => args.addr = val()?,
                 "--snapshot-interval" => {
                     args.snapshot_interval = num("--snapshot-interval", val()?)?
+                }
+                "--max-conns" => args.max_conns = num("--max-conns", val()?)?,
+                "--request-timeout" => {
+                    args.request_timeout = num("--request-timeout", val()?)?
+                }
+                "--shed-queue-depth" => {
+                    args.shed_queue_depth = num("--shed-queue-depth", val()?)?
                 }
                 "--data-dir" => args.data_dir = Some(val()?),
                 "--durability" => args.durability = val()?,
@@ -264,6 +281,12 @@ impl Args {
                 });
             }
         }
+        if args.request_timeout == 0 {
+            return Err(CliError::InvalidValue {
+                flag: "--request-timeout",
+                reason: "must be at least 1 second".into(),
+            });
+        }
         // A malformed listen address should fail argument parsing, not
         // surface later as a bind error from inside the server.
         if args.addr.parse::<std::net::SocketAddr>().is_err() {
@@ -332,6 +355,7 @@ fn main() -> ExitCode {
             eprintln!("  manic export --vp <name> [--hours H] [--format json|csv]");
             eprintln!("  manic obs    <metrics|journal|explain <far-ip>|links> [--hours H]");
             eprintln!("  manic serve  [--addr HOST:PORT] [--hours H] [--snapshot-interval SECS]");
+            eprintln!("               [--max-conns N] [--request-timeout SECS] [--shed-queue-depth N]");
             eprintln!("  manic run    [--hours H] [--data-dir DIR] [--durability P] [--resume]");
             eprintln!("               [--threads N]   (N workers; results identical for any N)");
             eprintln!("  manic recover <data-dir>   (exit 0 clean, 3 recoverable damage, 1 fatal)");
@@ -639,7 +663,10 @@ fn cmd_serve(args: Args) -> Result<(), CliError> {
     };
     let hub = Arc::new(manic_serve::SnapshotHub::new());
     let store = Arc::clone(&sys.store);
-    let serve_cfg = manic_serve::ServeConfig::default();
+    let mut serve_cfg = manic_serve::ServeConfig::default();
+    serve_cfg.overload.max_conns = args.max_conns;
+    serve_cfg.overload.header_read_timeout = Duration::from_secs(args.request_timeout);
+    serve_cfg.overload.shed_queue_depth = args.shed_queue_depth;
     let mut state = manic_serve::ServeState::new(Arc::clone(&hub), store, &serve_cfg);
     state.durability = status.clone();
     let state = Arc::new(state);
@@ -1125,6 +1152,34 @@ mod tests {
         assert!(matches!(
             parse(&["serve", "--addr", "localhost"]),
             Err(CliError::InvalidValue { flag: "--addr", .. })
+        ));
+    }
+
+    #[test]
+    fn serve_overload_flags_validated() {
+        use super::CliError;
+        let (_, a) = parse(&[
+            "serve", "--max-conns", "64", "--request-timeout", "3", "--shed-queue-depth", "16",
+        ])
+        .unwrap();
+        assert_eq!(a.max_conns, 64);
+        assert_eq!(a.request_timeout, 3);
+        assert_eq!(a.shed_queue_depth, 16);
+        let (_, d) = parse(&["serve"]).unwrap();
+        assert_eq!(d.max_conns, manic_serve::OverloadConfig::default().max_conns);
+        assert_eq!(d.request_timeout, 2);
+        assert_eq!(d.shed_queue_depth, manic_serve::OverloadConfig::default().shed_queue_depth);
+        // 0 means "unlimited" for the budget and "disabled" for depth
+        // shedding — both parse; a zero deadline does not.
+        assert!(parse(&["serve", "--max-conns", "0"]).is_ok());
+        assert!(parse(&["serve", "--shed-queue-depth", "0"]).is_ok());
+        assert!(matches!(
+            parse(&["serve", "--request-timeout", "0"]),
+            Err(CliError::InvalidValue { flag: "--request-timeout", .. })
+        ));
+        assert!(matches!(
+            parse(&["serve", "--max-conns", "-1"]),
+            Err(CliError::InvalidValue { flag: "--max-conns", .. })
         ));
     }
 

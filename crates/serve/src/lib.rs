@@ -25,6 +25,17 @@
 //! per-client token bucket ([`RateLimiter`]) protects the measurement
 //! host's CPU from abusive clients.
 //!
+//! Because the paper's MANIC ran as an always-on *public* observatory, the
+//! server also carries a full overload-control layer ([`overload`]):
+//! per-phase request deadlines (slowloris/dribbler disconnection), a
+//! connection budget with accept-side backpressure and EMFILE handling,
+//! queue-depth/latency admission control (`503 + Retry-After`, with
+//! `/api/health` and `/metrics` on a priority lane), a circuit breaker
+//! around expensive renders with bounded response sizes, and
+//! memory-pressure cache shrinking. Every rejection is a counted
+//! `manic_serve_*` metric, and `/api/health` exposes the whole state as an
+//! `overload` block.
+//!
 //! Everything the server returns is derived from the snapshot, the audit
 //! trail, and the tsdb — the layers a real deployment would export. The
 //! simulator's withheld ground truth is not reachable from here.
@@ -34,6 +45,7 @@ pub mod cache;
 pub mod durability;
 pub mod http;
 pub(crate) mod obs;
+pub mod overload;
 pub mod ratelimit;
 pub mod server;
 pub mod signal;
@@ -42,6 +54,7 @@ pub mod snapshot;
 pub use cache::{CachedResponse, ResponseCache};
 pub use durability::DurabilityStatus;
 pub use http::{Request, Response};
+pub use overload::{OverloadConfig, OverloadState, ShedReason};
 pub use ratelimit::RateLimiter;
 pub use server::{Server, ServeConfig, ServeState};
 pub use snapshot::{Snapshot, SnapshotHub};

@@ -17,11 +17,45 @@ pub(crate) struct Metrics {
     pub responses_5xx: Counter,
     /// Requests rejected by the per-client token bucket.
     pub rate_limited: Counter,
+    /// Rate-limiter client entries evicted to hold the bounded capacity.
+    pub ratelimit_evicted: Counter,
     pub cache_hits: Counter,
     pub cache_misses: Counter,
+    /// Approximate response-cache resident bytes (bodies + keys).
+    pub cache_bytes: Gauge,
+    /// Times the cache was force-shrunk under overload/memory pressure.
+    pub cache_shrinks: Counter,
     pub snapshots_published: Counter,
     /// Currently open client connections.
     pub connections: Gauge,
+    /// Accepted connections not yet picked up by a worker.
+    pub queue_depth: Gauge,
+    /// Accept-loop stalls because the connection budget was spent.
+    pub accept_backpressure: Counter,
+    /// Accepted-then-immediately-closed connections (fd exhaustion).
+    pub conn_rejected_emfile: Counter,
+    /// Forced disconnects, by cause.
+    pub disconnect_header_timeout: Counter,
+    pub disconnect_idle_timeout: Counter,
+    pub disconnect_write_timeout: Counter,
+    pub disconnect_write_error: Counter,
+    /// Requests refused by the HTTP parser's caps, by reason.
+    pub parse_uri_too_long: Counter,
+    pub parse_headers_too_large: Counter,
+    pub parse_too_many_headers: Counter,
+    pub parse_body_rejected: Counter,
+    pub parse_malformed: Counter,
+    /// Requests shed by the admission gate, by trigger.
+    pub shed_queue_depth: Counter,
+    pub shed_latency: Counter,
+    /// Renders refused by the open circuit breaker.
+    pub breaker_rejected: Counter,
+    /// Breaker closed→open transitions.
+    pub breaker_opens: Counter,
+    /// Timeseries selections refused for exceeding the render point cap.
+    pub render_capped: Counter,
+    /// Renders abandoned for exceeding the response byte cap.
+    pub render_truncated: Counter,
     /// Wall-clock request handling time (parse excluded, render included).
     pub request_duration: Histogram,
 }
@@ -50,6 +84,35 @@ impl Metrics {
             _ => &self.responses_5xx,
         }
     }
+
+    /// Parser-cap counter for a rejection reason.
+    pub fn parse_counter(&self, reason: crate::http::RejectReason) -> &Counter {
+        use crate::http::RejectReason::*;
+        match reason {
+            UriTooLong => &self.parse_uri_too_long,
+            HeadersTooLarge => &self.parse_headers_too_large,
+            TooManyHeaders => &self.parse_too_many_headers,
+            Body => &self.parse_body_rejected,
+            Malformed => &self.parse_malformed,
+        }
+    }
+
+    /// Total forced disconnects across causes (health block).
+    pub fn disconnect_total(&self) -> u64 {
+        self.disconnect_header_timeout.get()
+            + self.disconnect_idle_timeout.get()
+            + self.disconnect_write_timeout.get()
+            + self.disconnect_write_error.get()
+    }
+
+    /// Total parser-cap rejections across reasons (health block).
+    pub fn parse_rejected_total(&self) -> u64 {
+        self.parse_uri_too_long.get()
+            + self.parse_headers_too_large.get()
+            + self.parse_too_many_headers.get()
+            + self.parse_body_rejected.get()
+            + self.parse_malformed.get()
+    }
 }
 
 static METRICS: OnceLock<Metrics> = OnceLock::new();
@@ -59,6 +122,9 @@ pub(crate) fn metrics() -> &'static Metrics {
         let r = registry();
         let req = |ep| r.counter_labeled("manic_serve_requests", &[("endpoint", ep)]);
         let resp = |class| r.counter_labeled("manic_serve_responses", &[("class", class)]);
+        let disc = |kind| r.counter_labeled("manic_serve_disconnects", &[("kind", kind)]);
+        let parse = |reason| r.counter_labeled("manic_serve_parse_rejected", &[("reason", reason)]);
+        let shed = |reason| r.counter_labeled("manic_serve_shed", &[("reason", reason)]);
         Metrics {
             requests_links: req("links"),
             requests_timeseries: req("timeseries"),
@@ -70,10 +136,34 @@ pub(crate) fn metrics() -> &'static Metrics {
             responses_4xx: resp("4xx"),
             responses_5xx: resp("5xx"),
             rate_limited: r.counter("manic_serve_rate_limited"),
+            ratelimit_evicted: r.counter("manic_serve_ratelimit_evicted"),
             cache_hits: r.counter("manic_serve_cache_hits"),
             cache_misses: r.counter("manic_serve_cache_misses"),
+            cache_bytes: r.gauge("manic_serve_cache_bytes"),
+            cache_shrinks: r.counter("manic_serve_cache_shrinks"),
             snapshots_published: r.counter("manic_serve_snapshots_published"),
             connections: r.gauge("manic_serve_open_connections"),
+            queue_depth: r.gauge("manic_serve_queue_depth"),
+            accept_backpressure: r.counter("manic_serve_accept_backpressure"),
+            conn_rejected_emfile: r.counter_labeled(
+                "manic_serve_conn_rejected",
+                &[("reason", "emfile")],
+            ),
+            disconnect_header_timeout: disc("header_timeout"),
+            disconnect_idle_timeout: disc("idle_timeout"),
+            disconnect_write_timeout: disc("write_timeout"),
+            disconnect_write_error: disc("write_error"),
+            parse_uri_too_long: parse("uri_too_long"),
+            parse_headers_too_large: parse("headers_too_large"),
+            parse_too_many_headers: parse("too_many_headers"),
+            parse_body_rejected: parse("body"),
+            parse_malformed: parse("malformed"),
+            shed_queue_depth: shed("queue_depth"),
+            shed_latency: shed("latency"),
+            breaker_rejected: r.counter("manic_serve_breaker_rejected"),
+            breaker_opens: r.counter("manic_serve_breaker_opens"),
+            render_capped: r.counter("manic_serve_render_capped"),
+            render_truncated: r.counter("manic_serve_render_truncated"),
             request_duration: r.histogram("manic_serve_request_duration_ms"),
         }
     })

@@ -7,14 +7,23 @@
 //! bucket): each client carries a *theoretical arrival time* (TAT); a
 //! request is admitted when it is no more than `burst` emission intervals
 //! ahead of real time, and advances the TAT by one interval.
+//!
+//! The client table is hard-bounded: an address-spoofing flood (every
+//! request from a fresh source address) cannot grow it past `max_clients`.
+//! At the cap, fully-refilled (idle) entries are dropped first — behavior
+//! neutral, since a missing entry and a refilled one admit identically —
+//! and if every resident entry is still active, the one closest to refill
+//! is evicted and counted in `manic_serve_ratelimit_evicted`. Evicting an
+//! active entry forgets part of that client's debt (it re-admits with a
+//! fresh bucket), which under a spoofing flood is the right trade: bounded
+//! memory for slightly optimistic admission.
 
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Drop idle client entries when the table crosses this size; prevents an
-/// address-rotating client from growing the map without bound.
+/// Default hard cap on tracked client entries.
 const MAX_CLIENTS: usize = 4096;
 
 struct Bucket {
@@ -28,6 +37,8 @@ pub struct RateLimiter {
     interval_us: u64,
     /// Burst tolerance in µs (`burst * interval`).
     tolerance_us: u64,
+    /// Hard cap on the client table.
+    max_clients: usize,
     origin: Instant,
     clients: Mutex<HashMap<IpAddr, Bucket>>,
 }
@@ -36,10 +47,16 @@ impl RateLimiter {
     /// `rps == 0` disables limiting entirely. `burst` is how many requests
     /// a client may issue back-to-back before pacing kicks in.
     pub fn new(rps: u64, burst: u64) -> Self {
+        Self::with_capacity(rps, burst, MAX_CLIENTS)
+    }
+
+    /// As [`RateLimiter::new`] with an explicit client-table cap.
+    pub fn with_capacity(rps: u64, burst: u64, max_clients: usize) -> Self {
         let interval_us = if rps == 0 { 0 } else { 1_000_000 / rps.max(1) };
         RateLimiter {
             interval_us,
             tolerance_us: burst.max(1).saturating_mul(interval_us),
+            max_clients: max_clients.max(1),
             origin: Instant::now(),
             clients: Mutex::new(HashMap::new()),
         }
@@ -52,10 +69,25 @@ impl RateLimiter {
         }
         let now_us = self.origin.elapsed().as_micros() as u64;
         let mut clients = self.clients.lock().unwrap();
-        if clients.len() >= MAX_CLIENTS {
+        if clients.len() >= self.max_clients && !clients.contains_key(&ip) {
+            let before = clients.len();
             // Entries at or behind real time have fully refilled — dropping
             // them is behavior-neutral.
             clients.retain(|_, b| b.tat_us > now_us);
+            if clients.len() >= self.max_clients {
+                // Everyone resident is still pacing: evict the entry
+                // closest to refill to stay under the hard cap. O(n) scan,
+                // but only on the at-cap new-client path.
+                if let Some(k) =
+                    clients.iter().min_by_key(|(_, b)| b.tat_us).map(|(k, _)| *k)
+                {
+                    clients.remove(&k);
+                }
+            }
+            let evicted = before.saturating_sub(clients.len());
+            if evicted > 0 {
+                crate::obs::metrics().ratelimit_evicted.add(evicted as u64);
+            }
         }
         let b = clients.entry(ip).or_insert(Bucket { tat_us: 0 });
         let tat = b.tat_us.max(now_us);
@@ -66,6 +98,11 @@ impl RateLimiter {
             crate::obs::metrics().rate_limited.inc();
             false
         }
+    }
+
+    /// Tracked client entries (bounded by the capacity).
+    pub fn client_count(&self) -> usize {
+        self.clients.lock().unwrap().len()
     }
 }
 
@@ -97,5 +134,43 @@ mod tests {
         for _ in 0..10_000 {
             assert!(rl.allow(ip(1)));
         }
+    }
+
+    #[test]
+    fn spoofing_flood_stays_bounded() {
+        // 1 rps, burst 1: every client is "active" (tat far in the future)
+        // after a single request, so the refilled-retain frees nothing and
+        // the hard-cap eviction must kick in.
+        let rl = RateLimiter::with_capacity(1, 1, 8);
+        for a in 0..4u8 {
+            for b in 1..=255u8 {
+                rl.allow(IpAddr::from([10, 0, a, b]));
+            }
+        }
+        assert!(rl.client_count() <= 8, "table grew past cap: {}", rl.client_count());
+    }
+
+    #[test]
+    fn evicted_idle_client_readmits() {
+        // 100 rps → 10 ms interval. Exhaust ip(1)'s burst, let it refill,
+        // then push the at-cap table so the idle entry is retained away.
+        let rl = RateLimiter::with_capacity(100, 1, 2);
+        let evicted_before = crate::obs::metrics().ratelimit_evicted.get();
+        assert!(rl.allow(ip(1)));
+        assert!(rl.allow(ip(1)));
+        assert!(!rl.allow(ip(1)), "burst exhausted");
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        // Fill the table; reaching the cap with a new client triggers the
+        // idle sweep, which drops the now-refilled ip(1).
+        assert!(rl.allow(ip(2)));
+        assert!(rl.allow(ip(3)));
+        assert!(rl.allow(ip(4)));
+        assert!(rl.client_count() <= 2, "cap enforced: {}", rl.client_count());
+        assert!(
+            crate::obs::metrics().ratelimit_evicted.get() > evicted_before,
+            "evictions counted"
+        );
+        // The evicted client re-admits as brand new.
+        assert!(rl.allow(ip(1)), "evicted idle client re-admits");
     }
 }

@@ -1,0 +1,214 @@
+//! Torture tests for the HTTP request parser.
+//!
+//! The parser is the one surface of the system that eats arbitrary remote
+//! bytes, so it gets the adversarial treatment: random byte streams,
+//! truncations of valid requests at every byte offset, and pathological
+//! header splits across reads. The invariant throughout: `read_request`
+//! never panics, and every outcome is either a parsed request, a
+//! rejection carrying a 4xx status (a response gets written), or
+//! `Eof`/`Io` (a clean close).
+
+use manic_serve::http::{read_request, ParseError, RejectReason, Request};
+use proptest::prelude::*;
+use std::io::{BufReader, Read};
+
+/// A reader that hands out its data in caller-chosen chunk sizes — the
+/// socket-layer reality that a head can arrive one byte at a time or split
+/// anywhere, including mid-`\r\n`.
+struct Chunked<'a> {
+    data: &'a [u8],
+    pos: usize,
+    sizes: &'a [usize],
+    turn: usize,
+}
+
+impl<'a> Chunked<'a> {
+    fn new(data: &'a [u8], sizes: &'a [usize]) -> Self {
+        Chunked { data, pos: 0, sizes, turn: 0 }
+    }
+}
+
+impl Read for Chunked<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let want = if self.sizes.is_empty() {
+            1
+        } else {
+            self.sizes[self.turn % self.sizes.len()].max(1)
+        };
+        self.turn += 1;
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Every outcome the connection loop knows how to handle.
+fn outcome_is_handled(result: &Result<Request, ParseError>) -> bool {
+    match result {
+        Ok(req) => !req.method.is_empty() && !req.path.is_empty(),
+        Err(ParseError::Reject(reason, _)) => {
+            matches!(reason.status(), 400 | 413 | 414 | 431)
+        }
+        Err(ParseError::Eof) | Err(ParseError::Io) => true,
+    }
+}
+
+fn parse_bytes(data: &[u8]) -> Result<Request, ParseError> {
+    read_request(&mut BufReader::new(data))
+}
+
+const CANONICAL: &[u8] = b"GET /api/link/10.1.0.2/timeseries?bin=300&agg=min&format=json \
+HTTP/1.1\r\nHost: observatory.example\r\nUser-Agent: torture/1.0\r\nAccept: application/json\r\n\
+Connection: keep-alive\r\n\r\n";
+
+#[test]
+fn every_truncation_of_a_valid_request_is_handled() {
+    assert!(parse_bytes(CANONICAL).is_ok());
+    for cut in 0..CANONICAL.len() {
+        let result = parse_bytes(&CANONICAL[..cut]);
+        assert!(outcome_is_handled(&result), "cut at {cut}: {result:?}");
+        // A truncated request must never parse as complete.
+        assert!(result.is_err(), "cut at {cut} parsed as a full request");
+    }
+}
+
+#[test]
+fn every_chunking_of_a_valid_request_parses_identically() {
+    let whole = parse_bytes(CANONICAL).expect("canonical parses");
+    for chunk in 1..16usize {
+        let sizes = [chunk];
+        let mut r = BufReader::new(Chunked::new(CANONICAL, &sizes));
+        let req = read_request(&mut r).unwrap_or_else(|e| panic!("chunk {chunk}: {e:?}"));
+        assert_eq!(req.method, whole.method);
+        assert_eq!(req.path, whole.path);
+        assert_eq!(req.query, whole.query);
+        assert_eq!(req.keep_alive, whole.keep_alive);
+    }
+    // Alternating splits that land mid-`\r\n` and mid-escape.
+    for sizes in [[1, 7].as_slice(), &[3, 1], &[2, 5, 1], &[13, 1, 1]] {
+        let mut r = BufReader::new(Chunked::new(CANONICAL, sizes));
+        assert!(read_request(&mut r).is_ok(), "sizes {sizes:?}");
+    }
+}
+
+#[test]
+fn hostile_corpus_is_handled() {
+    // Hand-built nastiness: each case must resolve to a handled outcome
+    // without panicking, and the marked ones to a specific rejection.
+    let cases: &[(&[u8], Option<RejectReason>)] = &[
+        (b"", None), // Eof
+        (b"\r\n", Some(RejectReason::Malformed)),
+        (b"\x00\x01\x02\x03\xff\xfe\r\n\r\n", Some(RejectReason::Malformed)),
+        (b"GET\r\n\r\n", Some(RejectReason::Malformed)),
+        (b"GET / SPDY/3\r\n\r\n", Some(RejectReason::Malformed)),
+        (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", Some(RejectReason::Malformed)),
+        (b"GET /%zz HTTP/1.1\r\n\r\n", Some(RejectReason::Malformed)),
+        (b"GET /%e0%80 HTTP/1.1\r\n\r\n", Some(RejectReason::Malformed)),
+        (b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789", Some(RejectReason::Body)),
+        (b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", Some(RejectReason::Body)),
+        (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", Some(RejectReason::Body)),
+        // Bare LF line endings are tolerated (lenient in what we accept).
+        (b"GET / HTTP/1.1\nHost: x\n\n", None),
+    ];
+    for (bytes, want) in cases {
+        let result = parse_bytes(bytes);
+        assert!(outcome_is_handled(&result), "{bytes:?} -> {result:?}");
+        if let Some(reason) = want {
+            match &result {
+                Err(ParseError::Reject(r, _)) => assert_eq!(r, reason, "{bytes:?}"),
+                other => panic!("{bytes:?}: expected {reason:?}, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn giant_inputs_reject_without_unbounded_buffering() {
+    // 8 MB of request line: must reject as 414 long before consuming it.
+    let mut huge = b"GET /".to_vec();
+    huge.extend(std::iter::repeat_n(b'a', 8 << 20));
+    huge.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    match parse_bytes(&huge) {
+        Err(ParseError::Reject(RejectReason::UriTooLong, _)) => {}
+        other => panic!("expected UriTooLong, got {other:?}"),
+    }
+    // 8 MB of one header line: 431.
+    let mut huge = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+    huge.extend(std::iter::repeat_n(b'b', 8 << 20));
+    huge.extend_from_slice(b"\r\n\r\n");
+    match parse_bytes(&huge) {
+        Err(ParseError::Reject(RejectReason::HeadersTooLarge, _)) => {}
+        other => panic!("expected HeadersTooLarge, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup never panics and always lands on a handled
+    /// outcome — the core "always a response or a clean close" property.
+    #[test]
+    fn random_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let result = parse_bytes(&data);
+        prop_assert!(outcome_is_handled(&result), "{result:?}");
+    }
+
+    /// The same soup fed through pathological chunkings agrees with the
+    /// whole-buffer parse on accept/reject (errors may differ in detail,
+    /// but a chunking must never turn garbage into a parsed request or
+    /// vice versa).
+    #[test]
+    fn chunking_never_changes_acceptance(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        sizes in prop::collection::vec(1usize..9, 1..4),
+    ) {
+        let whole = parse_bytes(&data);
+        let mut r = BufReader::new(Chunked::new(&data, &sizes));
+        let chunked = read_request(&mut r);
+        prop_assert!(outcome_is_handled(&chunked), "{chunked:?}");
+        prop_assert_eq!(
+            whole.is_ok(),
+            chunked.is_ok(),
+            "chunking flipped acceptance: whole={:?} chunked={:?}",
+            whole,
+            chunked
+        );
+        if let (Ok(a), Ok(b)) = (&whole, &chunked) {
+            prop_assert_eq!(&a.method, &b.method);
+            prop_assert_eq!(&a.path, &b.path);
+            prop_assert_eq!(&a.raw_query, &b.raw_query);
+        }
+    }
+
+    /// Structured-ish garbage: random header names/values with random
+    /// whitespace and line endings. Exercises the header loop much harder
+    /// than uniform bytes (which almost always die on the request line).
+    #[test]
+    fn random_headers_never_panic(
+        headers in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..24), prop::collection::vec(any::<u8>(), 0..24)),
+            0..24,
+        ),
+        crlf in any::<bool>(),
+        terminate in any::<bool>(),
+    ) {
+        let eol: &[u8] = if crlf { b"\r\n" } else { b"\n" };
+        let mut data = b"GET /api/links HTTP/1.1".to_vec();
+        data.extend_from_slice(eol);
+        for (name, value) in &headers {
+            data.extend_from_slice(name);
+            data.push(b':');
+            data.extend_from_slice(value);
+            data.extend_from_slice(eol);
+        }
+        if terminate {
+            data.extend_from_slice(eol);
+        }
+        let result = parse_bytes(&data);
+        prop_assert!(outcome_is_handled(&result), "{result:?}");
+    }
+}

@@ -216,7 +216,7 @@ fn hostile_rates_hit_429() {
     let mut ok = 0;
     let mut limited = 0;
     for _ in 0..20 {
-        match get(addr, "/api/health").0 {
+        match get(addr, "/api/links").0 {
             200 => ok += 1,
             429 => limited += 1,
             other => panic!("unexpected status {other}"),
@@ -224,6 +224,11 @@ fn hostile_rates_hit_429() {
     }
     assert!(ok >= 1, "burst admits the first requests");
     assert!(limited >= 10, "sustained abuse is rejected, got {limited} 429s");
+    // The priority lane is exempt: health stays reachable from a
+    // rate-limited client.
+    for _ in 0..5 {
+        assert_eq!(get(addr, "/api/health").0, 200, "priority lane never 429s");
+    }
 }
 
 #[test]
@@ -315,4 +320,179 @@ fn snapshot_epoch_is_stable_across_reads() {
         get_json("/api/links");
     }
     assert_eq!(fixture().hub.epoch(), before, "reads never republish snapshots");
+}
+
+// ---------------------------------------------------------------------------
+// Overload behavior
+// ---------------------------------------------------------------------------
+
+/// Like [`request`] but returns the raw response head too, for header
+/// assertions (Retry-After).
+fn get_with_head(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head[9..12].parse().expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+/// Read one metric value out of a Prometheus exposition body.
+fn metric_value(metrics_body: &str, series: &str) -> f64 {
+    metrics_body
+        .lines()
+        .find(|l| l.starts_with(series) && l[series.len()..].starts_with(' '))
+        .and_then(|l| l.rsplit(' ').next()?.parse().ok())
+        .unwrap_or(0.0)
+}
+
+fn scrape_metrics() -> String {
+    let (status, _, body) = get(fixture().addr, "/metrics");
+    assert_eq!(status, 200);
+    body
+}
+
+#[test]
+fn slowloris_is_disconnected_at_the_header_deadline() {
+    use std::time::{Duration, Instant};
+    let fx = fixture();
+    // Dedicated server: short header deadline, deliberately long keep-alive
+    // so a disconnect can only come from the per-request deadline.
+    let mut cfg = ServeConfig { keep_alive_timeout: Duration::from_secs(30), ..Default::default() };
+    cfg.overload.header_read_timeout = Duration::from_millis(300);
+    let state = Arc::new(ServeState::new(Arc::clone(&fx.hub), Arc::clone(&fx.store), &cfg));
+    let server = Server::start("127.0.0.1:0", state, &cfg).expect("bind");
+    let before = metric_value(
+        &scrape_metrics(),
+        "manic_serve_disconnects{kind=\"header_timeout\"}",
+    );
+
+    let started = Instant::now();
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    // Dribble a partial request head, one fragment at a time, never
+    // finishing it.
+    for fragment in ["GET /api", "/links HT", "TP/1.1\r\nHos"] {
+        let _ = s.write_all(fragment.as_bytes());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut sink = Vec::new();
+    let _ = s.read_to_end(&mut sink); // EOF once the server hangs up
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "disconnected by the header deadline, not keep-alive ({elapsed:?})"
+    );
+    assert!(sink.is_empty(), "no response for a never-finished request");
+    let after = metric_value(
+        &scrape_metrics(),
+        "manic_serve_disconnects{kind=\"header_timeout\"}",
+    );
+    assert!(after > before, "header-timeout disconnect counted ({before} -> {after})");
+    server.shutdown();
+}
+
+#[test]
+fn shed_gate_returns_503_and_keeps_the_priority_lane_open() {
+    let fx = fixture();
+    // A latency threshold no real request can beat: the first admitted
+    // request primes the EWMA and closes the gate behind itself.
+    let mut cfg = ServeConfig::default();
+    cfg.overload.shed_latency_ms = 1e-9;
+    cfg.overload.retry_after_secs = 7;
+    let state = Arc::new(ServeState::new(Arc::clone(&fx.hub), Arc::clone(&fx.store), &cfg));
+    let server = Server::start("127.0.0.1:0", state, &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // First request is admitted (EWMA is empty) and poisons the average.
+    assert_eq!(get(addr, "/api/links").0, 200, "first request primes the EWMA");
+    let mut shed = 0;
+    for _ in 0..5 {
+        let (status, head, body) = get_with_head(addr, "/api/links");
+        if status == 503 {
+            shed += 1;
+            assert!(
+                head.contains("Retry-After: 7"),
+                "shed response advertises Retry-After: {head}"
+            );
+            let v: Value = serde_json::from_str(&body).expect("shed error envelope is JSON");
+            assert!(v.get("error").is_some());
+        }
+    }
+    assert!(shed >= 4, "gate closed after the priming request, got {shed} 503s");
+
+    // The priority lane stays open while the gate is shut...
+    let (status, _, body) = get(addr, "/api/health");
+    assert_eq!(status, 200, "health answers while shedding: {body}");
+    let v: Value = serde_json::from_str(&body).expect("health is JSON");
+    let overload = v.get("overload").expect("health carries the overload block");
+    assert_eq!(
+        overload.get("shed_active").and_then(Value::as_bool),
+        Some(true),
+        "overload block reports the closed gate: {overload:?}"
+    );
+    assert!(overload.get("shed_total").and_then(Value::as_i64).unwrap_or(0) >= shed);
+    assert_eq!(get(addr, "/metrics").0, 200, "metrics answers while shedding");
+
+    // ...and the rejections are counted.
+    let m = scrape_metrics();
+    assert!(
+        metric_value(&m, "manic_serve_shed{reason=\"latency\"}") >= shed as f64,
+        "shed rejections appear in /metrics"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn every_parser_rejection_is_counted_in_metrics() {
+    let fx = fixture();
+    let addr = fx.addr;
+    let before = scrape_metrics();
+
+    let raw_request = |raw: &[u8]| -> u16 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(raw).expect("send");
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).expect("read");
+        let resp = String::from_utf8_lossy(&resp).into_owned();
+        resp.get(9..12).and_then(|s| s.parse().ok()).unwrap_or(0)
+    };
+
+    // One of each parser rejection.
+    let huge_uri = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8192));
+    assert_eq!(raw_request(huge_uri.as_bytes()), 414);
+    let huge_headers =
+        format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "b".repeat(32 * 1024));
+    assert_eq!(raw_request(huge_headers.as_bytes()), 431);
+    let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..80 {
+        many_headers.push_str(&format!("X-{i}: v\r\n"));
+    }
+    many_headers.push_str("\r\n");
+    assert_eq!(raw_request(many_headers.as_bytes()), 431);
+    assert_eq!(
+        raw_request(b"POST /api/links HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"),
+        413
+    );
+    assert_eq!(raw_request(b"complete garbage\r\n\r\n"), 400);
+
+    let after = scrape_metrics();
+    for series in [
+        "manic_serve_parse_rejected{reason=\"uri_too_long\"}",
+        "manic_serve_parse_rejected{reason=\"headers_too_large\"}",
+        "manic_serve_parse_rejected{reason=\"too_many_headers\"}",
+        "manic_serve_parse_rejected{reason=\"body\"}",
+        "manic_serve_parse_rejected{reason=\"malformed\"}",
+    ] {
+        assert!(
+            metric_value(&after, series) > metric_value(&before, series),
+            "{series} not incremented"
+        );
+    }
+    // The health overload block aggregates the same counters.
+    let v = get_json("/api/health");
+    let overload = v.get("overload").expect("overload block");
+    assert!(overload.get("parse_rejected_total").and_then(Value::as_i64).unwrap_or(0) >= 5);
 }
