@@ -26,7 +26,7 @@
 
 use crate::system::{System, SystemConfig, VpRuntime};
 use manic_netsim::time::{SimTime, SECS_PER_DAY};
-use manic_probing::tslp::{End, TslpProber, ROUND_SECS};
+use manic_probing::tslp::{End, ROUND_SECS};
 use manic_scenario::World;
 use manic_tsdb::{quality::QualityFlags, Point, Store};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
@@ -67,22 +67,25 @@ impl StagedOps {
         self.annots.clear();
     }
 
-    /// Replay the staged round against the store and clear the buffers.
-    /// Samples arrive grouped by task, so each task's near/far runs become
-    /// one `write_batch` per series (one shard-lock acquisition, one WAL
+    /// Replay the staged round against the store, fold it into the VP's
+    /// incremental link summaries, and clear the buffers. Samples arrive
+    /// grouped by task, so each task's near/far runs become one
+    /// `write_batch` per series (one shard-lock acquisition, one WAL
     /// staging pass) instead of a lock per point. `near`/`far` are reusable
     /// scratch buffers owned by the commit loop.
     fn commit(
         &mut self,
         store: &Store,
-        tslp: &TslpProber,
+        vp: &mut VpRuntime,
+        t: SimTime,
+        window_bins: usize,
         near: &mut Vec<Point>,
         far: &mut Vec<Point>,
     ) {
+        let tslp = &vp.tslp;
         for &(ti, end, from, until, flags) in &self.annots {
             store.annotate(tslp.key(ti as usize, end), from, until, flags);
         }
-        self.annots.clear();
         let mut i = 0;
         while i < self.samples.len() {
             let ti = self.samples[i].0;
@@ -105,6 +108,51 @@ impl StagedOps {
             }
             i = j;
         }
+
+        // Incremental summary maintenance (runs every round, including
+        // empty ones, so windows advance deterministically). Existing rings
+        // advance in O(1 bin); tasks without a ring backfill one from the
+        // store — which at this point already contains the round's writes,
+        // so a fresh ring starts exactly equal to the store's dense view.
+        let hi_end = t + ROUND_SECS;
+        for (ti, task) in vp.tslp.tasks.iter().enumerate() {
+            match vp.summaries.entry((task.near_ip, task.far_ip)) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut().advance_to(hi_end),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(manic_inference::LinkSummary::backfilled(
+                        store,
+                        vp.tslp.key(ti, End::Far),
+                        hi_end,
+                        window_bins,
+                        ROUND_SECS,
+                    ));
+                }
+            }
+        }
+        // Replay the staged far-end ops into the rings. The per-bin folds
+        // (`min`, `|=`) are idempotent, so freshly backfilled rings — which
+        // already contain this round's writes — absorb the replay unchanged.
+        for &(ti, end, from, until, flags) in &self.annots {
+            if end != End::Far {
+                continue;
+            }
+            if let Some(task) = vp.tslp.tasks.get(ti as usize) {
+                if let Some(s) = vp.summaries.get_mut(&(task.near_ip, task.far_ip)) {
+                    s.observe_flags(from, until, flags);
+                }
+            }
+        }
+        for &(ti, end, ts, v) in &self.samples {
+            if end != End::Far {
+                continue;
+            }
+            if let Some(task) = vp.tslp.tasks.get(ti as usize) {
+                if let Some(s) = vp.summaries.get_mut(&(task.near_ip, task.far_ip)) {
+                    s.observe_sample(ts, v);
+                }
+            }
+        }
+        self.annots.clear();
         self.samples.clear();
     }
 }
@@ -261,8 +309,15 @@ pub(crate) fn run_rounds(sys: &mut System, from: SimTime, to: SimTime) -> usize 
             }
             let m = crate::obs::metrics();
             let commit_started = std::time::Instant::now();
-            for (vp, stage) in vps.iter().zip(stages.iter_mut()) {
-                stage.commit(store, &vp.tslp, &mut near_scratch, &mut far_scratch);
+            for (vp, stage) in vps.iter_mut().zip(stages.iter_mut()) {
+                stage.commit(
+                    store,
+                    vp,
+                    t,
+                    cfg.summary_window_bins,
+                    &mut near_scratch,
+                    &mut far_scratch,
+                );
             }
             m.commit_ms.observe(commit_started.elapsed().as_secs_f64() * 1e3);
             m.rounds.inc();
@@ -322,7 +377,14 @@ pub(crate) fn run_rounds(sys: &mut System, from: SimTime, to: SimTime) -> usize 
             for slot in &slots {
                 let mut guard = slot.lock().unwrap();
                 let (vp, stage) = &mut *guard;
-                stage.commit(store, &vp.tslp, &mut near_scratch, &mut far_scratch);
+                stage.commit(
+                    store,
+                    vp,
+                    t,
+                    cfg.summary_window_bins,
+                    &mut near_scratch,
+                    &mut far_scratch,
+                );
             }
             m.commit_ms.observe(commit_started.elapsed().as_secs_f64() * 1e3);
             m.rounds.inc();

@@ -35,6 +35,11 @@ pub struct SystemConfig {
     /// fans VPs out across a fixed pool. Every value produces byte-identical
     /// stores (see DESIGN.md §5g), so this is purely a throughput knob.
     pub threads: usize,
+    /// Length of each task's incremental [`manic_inference::LinkSummary`]
+    /// ring, in five-minute bins (default: 8640 = 30 days — the longest
+    /// window the reactive level-shift path analyzes). Detection windows
+    /// inside the ring are served without rescanning the store.
+    pub summary_window_bins: usize,
 }
 
 impl Default for SystemConfig {
@@ -48,8 +53,20 @@ impl Default for SystemConfig {
             health: HealthConfig::default(),
             supervisor: SupervisorConfig::default(),
             threads: 1,
+            summary_window_bins: 8640,
         }
     }
+}
+
+/// The attributes of one inferred border link the control loop consults per
+/// round, denormalized out of `BdrmapResult::links` into a map keyed by
+/// `(near_ip, far_ip)`. Rebuilt on every bdrmap cycle; turns the per-task
+/// `links.iter().find(...)` scans (O(tasks × links) per call) into hash
+/// lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkMeta {
+    pub far_as: manic_netsim::AsNumber,
+    pub rel: manic_bdrmap::infer::LinkRel,
 }
 
 /// Per-VP runtime state.
@@ -62,6 +79,14 @@ pub struct VpRuntime {
     pub sim: SimState,
     /// Latest border-mapping result.
     pub bdrmap: Option<BdrmapResult>,
+    /// `(near_ip, far_ip) → link` index over `bdrmap`'s inferred links,
+    /// rebuilt whenever `bdrmap` changes.
+    pub bdrmap_links: std::collections::HashMap<(Ipv4, Ipv4), LinkMeta>,
+    /// Incremental far-end series summaries, one per probing task, updated
+    /// from each round's committed staged ops (see
+    /// [`manic_inference::LinkSummary`]). Created lazily at commit time by
+    /// store backfill, so they never need checkpointing.
+    pub summaries: std::collections::HashMap<(Ipv4, Ipv4), manic_inference::LinkSummary>,
     /// When the probing set was last refreshed.
     pub last_cycle: Option<SimTime>,
     /// Consecutive rounds each task spent without a valid far-end response,
@@ -146,6 +171,8 @@ impl System {
                 ),
                 sim: SimState::new(),
                 bdrmap: None,
+                bdrmap_links: std::collections::HashMap::new(),
+                summaries: std::collections::HashMap::new(),
                 last_cycle: None,
                 stale_rounds: std::collections::HashMap::new(),
                 health: std::collections::HashMap::new(),
@@ -263,7 +290,16 @@ impl System {
         let discovered = new_keys.difference(&old_keys).count();
         let lost = old_keys.difference(&new_keys).count();
         vp.tslp.update_targets(tasks);
+        vp.bdrmap_links = result
+            .links
+            .iter()
+            .map(|l| ((l.near_ip, l.far_ip), LinkMeta { far_as: l.far_as, rel: l.rel }))
+            .collect();
         vp.bdrmap = Some(result);
+        // Summaries follow the probing set: tasks that survived re-selection
+        // keep their ring (series continuity), dropped tasks free theirs,
+        // new tasks backfill lazily at the next commit.
+        vp.summaries.retain(|k, _| new_keys.contains(k));
         vp.last_cycle = Some(t);
         vp.stale_rounds.clear();
         // A fresh probing set clears all health state: retired tasks that
@@ -440,26 +476,56 @@ impl System {
         use manic_bdrmap::infer::LinkRel;
         let vp = &mut self.vps[vi];
         let mut targets = Vec::new();
-        let Some(bdr) = &vp.bdrmap else { return 0 };
+        if vp.bdrmap.is_none() {
+            return 0;
+        }
+        // Dense-window scratch, reused across tasks (one allocation per
+        // call instead of two per link).
+        let mut bins: Vec<Option<f64>> = Vec::new();
+        let mut qual: Vec<manic_tsdb::quality::QualityFlags> = Vec::new();
         for (ti, task) in vp.tslp.tasks.iter().enumerate() {
-            let Some(link) = bdr
-                .links
-                .iter()
-                .find(|l| l.near_ip == task.near_ip && l.far_ip == task.far_ip)
-            else {
-                continue;
-            };
+            let tkey = (task.near_ip, task.far_ip);
+            let Some(link) = vp.bdrmap_links.get(&tkey) else { continue };
             if link.rel == LinkRel::Customer {
                 continue; // §3.3: only peers and providers
             }
             let key = vp.tslp.key(ti, End::Far);
-            let bins =
+            // Serve the dense window from the task's incremental summary
+            // when it covers `[from, to)`; fall back to a store rescan
+            // otherwise (window predates the ring, or no commit has run
+            // yet). The summary content is provably identical to the store
+            // scan — checked here in debug builds on every served window.
+            let served = match vp.summaries.get(&tkey) {
+                Some(s) if s.can_serve(from, to) => {
+                    s.dense_into(from, to, &mut bins, &mut qual);
+                    true
+                }
+                _ => false,
+            };
+            if served {
+                #[cfg(debug_assertions)]
+                {
+                    let store_bins =
+                        self.store.downsample_dense(key, from, to, ROUND_SECS, Aggregate::Min);
+                    let store_qual = self.store.quality_dense(key, from, to, ROUND_SECS);
+                    debug_assert_eq!(
+                        bins, store_bins,
+                        "summary ring diverged from store (bins) for {key:?}"
+                    );
+                    debug_assert_eq!(
+                        qual, store_qual,
+                        "summary ring diverged from store (quality) for {key:?}"
+                    );
+                }
+            } else {
+                manic_inference::note_summary_fallback();
                 self.store
-                    .downsample_dense(key, from, to, ROUND_SECS, Aggregate::Min);
+                    .downsample_dense_into(key, from, to, ROUND_SECS, Aggregate::Min, &mut bins);
+                self.store.quality_dense_into(key, from, to, ROUND_SECS, &mut qual);
+            }
             // Quality-masked detection: windows the control loop flagged
             // (quarantine gaps, renumbering, suspected rate limiting) must
             // yield *no inference*, not a fabricated level shift.
-            let qual = self.store.quality_dense(key, from, to, ROUND_SECS);
             let shifts =
                 detect_level_shifts_masked(&bins, &qual, DEFAULT_REJECT, &self.cfg.levelshift);
             // Audit every verdict — congested or not — with the evidence it
@@ -587,13 +653,8 @@ impl System {
                 });
             }
             let rel = vp
-                .bdrmap
-                .as_ref()
-                .and_then(|b| {
-                    b.links
-                        .iter()
-                        .find(|l| l.near_ip == task.near_ip && l.far_ip == task.far_ip)
-                })
+                .bdrmap_links
+                .get(&(task.near_ip, task.far_ip))
                 .map(|l| (l.far_as, l.rel));
             out.push(LinkStatus {
                 vp: vp.handle.name.clone(),

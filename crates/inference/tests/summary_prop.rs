@@ -1,0 +1,119 @@
+//! Property tests for the incremental `LinkSummary`: across random
+//! append/annotate/gap sequences (including chaos-schedule-style quality
+//! flags), the ring must stay equal to the store's dense view, exact
+//! analyses must equal batch detection on the store scan, and a summary
+//! backfilled mid-sequence (the checkpoint-resume path) must converge to
+//! the incrementally-maintained one bit-for-bit.
+
+use manic_inference::{detect_level_shifts_masked, LevelShiftConfig, LinkSummary, DEFAULT_REJECT};
+use manic_tsdb::{Aggregate, SeriesKey, Store};
+use proptest::prelude::*;
+
+const BIN: i64 = 300;
+const CAP: usize = 32;
+
+/// One round's worth of activity: samples at offsets within the round,
+/// and an optional quality annotation over a sub-window.
+type Round = (Vec<(i64, f64)>, Option<(i64, i64, u8)>);
+
+fn arb_round() -> impl Strategy<Value = Round> {
+    (
+        prop::collection::vec((0i64..BIN, 1.0f64..100.0), 0..4),
+        (0u8..2, 0i64..BIN, 1i64..BIN, 1u8..16),
+    )
+        .prop_map(|(samples, (has, off, len, fl))| {
+            (samples, (has == 1).then_some((off, len, fl)))
+        })
+}
+
+/// Replay `rounds` into a store and a summary the way the engine's commit
+/// does: store writes first, then window advance, then the same staged ops
+/// folded into the ring. Returns `(store, key, summary, end_time)`.
+fn replay(rounds: &[Round], resume_at: Option<usize>) -> (Store, SeriesKey, LinkSummary, i64) {
+    let store = Store::new();
+    let key = SeriesKey::with_tags("tslp", &[("vp", "v1"), ("link", "10.0.0.1"), ("end", "far")]);
+    let mut summary = LinkSummary::new(0, CAP, BIN);
+    for (r, (samples, annot)) in rounds.iter().enumerate() {
+        let t0 = r as i64 * BIN;
+        if let Some(&(off, len, fl)) = annot.as_ref() {
+            let (f, t) = (t0 + off, (t0 + off + len).min(t0 + BIN));
+            if t > f {
+                store.annotate(&key, f, t, fl);
+            }
+        }
+        for &(off, v) in samples {
+            store.write(&key, t0 + off, v);
+        }
+        // A mid-sequence backfill models checkpoint resume: the summary is
+        // recreated from the store at this round's commit and must converge
+        // with the incrementally-maintained one.
+        if resume_at == Some(r) {
+            summary = LinkSummary::backfilled(&store, &key, t0 + BIN, CAP, BIN);
+        } else {
+            summary.advance_to(t0 + BIN);
+            if let Some(&(off, len, fl)) = annot.as_ref() {
+                let (f, t) = (t0 + off, (t0 + off + len).min(t0 + BIN));
+                if t > f {
+                    summary.observe_flags(f, t, fl);
+                }
+            }
+            for &(off, v) in samples {
+                summary.observe_sample(t0 + off, v);
+            }
+        }
+    }
+    let end = rounds.len() as i64 * BIN;
+    (store, key, summary, end)
+}
+
+proptest! {
+    /// Ring content == store dense content over any servable window.
+    #[test]
+    fn ring_equals_store_dense(
+        rounds in prop::collection::vec(arb_round(), 1..80),
+        win in 1usize..CAP,
+    ) {
+        let (store, key, summary, end) = replay(&rounds, None);
+        let from = (end - (win as i64).min(rounds.len() as i64) * BIN).max(end - CAP as i64 * BIN);
+        prop_assert!(summary.can_serve(from, end));
+        let (mut bins, mut qual) = (Vec::new(), Vec::new());
+        summary.dense_into(from, end, &mut bins, &mut qual);
+        let store_bins = store.downsample_dense(&key, from, end, BIN, Aggregate::Min);
+        let store_qual = store.quality_dense(&key, from, end, BIN);
+        prop_assert_eq!(&bins, &store_bins, "mins diverged over [{}, {})", from, end);
+        prop_assert_eq!(&qual, &store_qual, "flags diverged over [{}, {})", from, end);
+    }
+
+    /// Incremental exact analysis == batch detection on the store rescan.
+    #[test]
+    fn analyze_exact_equals_batch_detection(
+        rounds in prop::collection::vec(arb_round(), 24..80),
+    ) {
+        let (store, key, mut summary, end) = replay(&rounds, None);
+        let from = end - (CAP as i64).min(rounds.len() as i64) * BIN;
+        let cfg = LevelShiftConfig::default();
+        let incremental = summary.analyze_exact(from, end, &cfg);
+        let bins = store.downsample_dense(&key, from, end, BIN, Aggregate::Min);
+        let qual = store.quality_dense(&key, from, end, BIN);
+        let batch = detect_level_shifts_masked(&bins, &qual, DEFAULT_REJECT, &cfg);
+        prop_assert_eq!(incremental, batch);
+    }
+
+    /// A summary recreated by store backfill mid-sequence (checkpoint
+    /// resume) fingerprints identically to one maintained incrementally
+    /// from the start — creation time must be unobservable.
+    #[test]
+    fn backfilled_summary_converges(
+        rounds in prop::collection::vec(arb_round(), 2..80),
+        cut in 0usize..80,
+    ) {
+        let cut = cut % rounds.len();
+        let (_, _, maintained, _) = replay(&rounds, None);
+        let (_, _, resumed, _) = replay(&rounds, Some(cut));
+        prop_assert_eq!(
+            maintained.fingerprint(),
+            resumed.fingerprint(),
+            "backfill at round {} diverged", cut
+        );
+    }
+}

@@ -13,25 +13,43 @@ use manic_netsim::{
     QueueModel, SimState, Topology,
 };
 
-/// Counts every allocator entry point; frees are not interesting here.
+/// Counts allocator entry points on the test thread only; frees are not
+/// interesting here. The per-thread gate matters: the libtest harness's
+/// main thread blocks in `mpsc::recv` while the test runs, and lazily
+/// allocates its thread-local parking context whenever the scheduler makes
+/// it actually park — which would otherwise land in our timed window or
+/// not, at the OS's whim (a 2-allocation flake).
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// Const-initialized so TLS access never allocates (no lazy init, no drop).
+thread_local! {
+    static COUNTING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn count() {
+    // try_with: TLS may be unavailable during thread teardown; those
+    // allocations are never ours to count.
+    if COUNTING.try_with(std::cell::Cell::get).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc_zeroed(layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -92,6 +110,7 @@ fn chain_net() -> Network {
 
 #[test]
 fn steady_state_probing_allocates_nothing() {
+    COUNTING.with(|c| c.set(true));
     let net = chain_net();
     let vp = manic_netsim::RouterId(0);
     let vp_addr = Ipv4::new(10, 0, 0, 1);

@@ -20,6 +20,7 @@ pub mod cusum;
 pub mod describe;
 pub mod huber;
 pub mod regression;
+pub mod sliding;
 pub mod special;
 pub mod ttest;
 
@@ -29,4 +30,5 @@ pub use cusum::{cusum_scan, ChangePoint};
 pub use describe::{ecdf, mean, median, quantile, variance, Summary};
 pub use huber::{huber_mean, huber_weight};
 pub use regression::{ols, OlsFit};
+pub use sliding::SlidingMedian;
 pub use ttest::{one_sample_t, two_sample_t, welch_t, TTest, Tails};

@@ -1,0 +1,131 @@
+//! Exact sliding-window order statistics.
+//!
+//! `SlidingMedian` maintains a sorted multiset of the current window and
+//! answers the median in O(1), with O(window) insert/remove (a memmove in a
+//! small contiguous buffer — far cheaper than the re-sort per position that
+//! a naive rolling median pays). The median is computed with exactly the
+//! same interpolation expression as [`crate::describe::median`], so
+//! replacing a per-window `median(&xs[lo..hi])` call with a maintained
+//! `SlidingMedian` is bit-identical, not merely approximately equal.
+
+/// Sorted window buffer with exact median queries.
+///
+/// Values must be non-NaN (the same contract as `describe::quantile`, which
+/// panics on NaN input).
+#[derive(Debug, Clone, Default)]
+pub struct SlidingMedian {
+    buf: Vec<f64>,
+}
+
+impl SlidingMedian {
+    pub fn new() -> Self {
+        SlidingMedian::default()
+    }
+
+    /// Pre-size for an expected window length.
+    pub fn with_capacity(cap: usize) -> Self {
+        SlidingMedian { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Add one value to the window.
+    pub fn insert(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN in sliding median input");
+        let i = self.buf.partition_point(|&y| y < x);
+        self.buf.insert(i, x);
+    }
+
+    /// Remove one occurrence of `x` from the window. Panics if `x` is not
+    /// present — the caller is sliding a window and must remove exactly the
+    /// values it inserted.
+    pub fn remove(&mut self, x: f64) {
+        let i = self.buf.partition_point(|&y| y < x);
+        assert!(
+            i < self.buf.len() && self.buf[i] == x,
+            "sliding median: removing absent value {x}"
+        );
+        self.buf.remove(i);
+    }
+
+    /// Median of the current window — the same type-7 interpolation as
+    /// `describe::median` (and bit-identical to it, term for term). NaN for
+    /// an empty window.
+    pub fn median(&self) -> f64 {
+        if self.buf.is_empty() {
+            return f64::NAN;
+        }
+        let pos = 0.5 * (self.buf.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.buf[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.buf[lo] * (1.0 - frac) + self.buf[hi] * frac
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::median;
+
+    #[test]
+    fn matches_describe_median_exactly() {
+        let xs = [3.0, 1.25, 7.5, 7.5, -2.0, 0.1, 4.0];
+        let mut sm = SlidingMedian::new();
+        for (i, &x) in xs.iter().enumerate() {
+            sm.insert(x);
+            assert_eq!(sm.median(), median(&xs[..=i]), "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn sliding_window_matches_per_window_median() {
+        // Pseudo-random-ish but deterministic values, window of 5.
+        let xs: Vec<f64> = (0..40).map(|i| ((i * 37) % 17) as f64 * 0.5 - 3.0).collect();
+        let w = 5;
+        let mut sm = SlidingMedian::new();
+        for &x in &xs[..w] {
+            sm.insert(x);
+        }
+        assert_eq!(sm.median(), median(&xs[..w]));
+        for i in w..xs.len() {
+            sm.remove(xs[i - w]);
+            sm.insert(xs[i]);
+            assert_eq!(sm.median(), median(&xs[i + 1 - w..=i]), "window at {i}");
+        }
+    }
+
+    #[test]
+    fn duplicates_remove_one_occurrence() {
+        let mut sm = SlidingMedian::new();
+        sm.insert(2.0);
+        sm.insert(2.0);
+        sm.insert(2.0);
+        sm.remove(2.0);
+        assert_eq!(sm.len(), 2);
+        assert_eq!(sm.median(), 2.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(SlidingMedian::new().median().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "absent value")]
+    fn removing_absent_value_panics() {
+        let mut sm = SlidingMedian::new();
+        sm.insert(1.0);
+        sm.remove(2.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! A packed fixed-width bitset (u64 words).
+//!
+//! The inference layer's per-link summaries track which dense bins hold
+//! data; one bit per bin keeps a 30-day five-minute ring at ~1 KB instead
+//! of a `Vec<bool>`'s 8.6 KB, and whole-word operations (`count_ones`,
+//! word-wise equality) run as batch loops.
+
+/// Fixed-length bitset backed by `u64` words. All indices are bounds-checked
+/// against the length set at construction (or the most recent `resize`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// All-zero bitset of `len` bits.
+    pub fn with_len(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Set every bit to zero, keeping the length.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Raw words, for hashing/fingerprinting. Bits past `len` are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = BitSet::with_len(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let b = BitSet::with_len(64);
+        b.get(64);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let mut a = BitSet::with_len(100);
+        let mut b = BitSet::with_len(100);
+        a.set(42);
+        assert_ne!(a, b);
+        b.set(42);
+        assert_eq!(a, b);
+        // Cleared bits leave no residue in the padding words.
+        a.set(99);
+        a.clear(99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_len_is_fine() {
+        let b = BitSet::with_len(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.words().is_empty());
+    }
+}

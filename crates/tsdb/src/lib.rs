@@ -17,6 +17,7 @@
 //! The store is sharded and guarded by `std::sync::RwLock`, so concurrent
 //! measurement threads can ingest while analysis reads.
 
+pub mod bitset;
 pub mod key;
 pub mod lineproto;
 mod obs;
@@ -26,6 +27,7 @@ pub mod series;
 pub mod store;
 pub mod wal;
 
+pub use bitset::BitSet;
 pub use key::{SeriesKey, TagSet};
 pub use lineproto::{format_key, format_line, parse_key, parse_line, LineProtoError};
 pub use quality::{QualityFlags, QualityLog};

@@ -98,11 +98,20 @@ impl QualityLog {
     /// edge-case contract as `Series::downsample_dense`: non-positive bins
     /// and empty/inverted windows yield no bins.
     pub fn dense(&self, start: i64, end: i64, bin_secs: i64) -> Vec<QualityFlags> {
+        let mut out = Vec::new();
+        self.dense_into(start, end, bin_secs, &mut out);
+        out
+    }
+
+    /// [`Self::dense`] into a caller-owned buffer (cleared first), so
+    /// repeated window scans reuse one allocation.
+    pub fn dense_into(&self, start: i64, end: i64, bin_secs: i64, out: &mut Vec<QualityFlags>) {
+        out.clear();
         if bin_secs <= 0 || end <= start {
-            return Vec::new();
+            return;
         }
         let nbins = ((end - start).max(0) + bin_secs - 1) / bin_secs;
-        let mut out = vec![0; nbins as usize];
+        out.resize(nbins as usize, 0);
         for &(f, t, fl) in &self.windows {
             if t <= start || f >= end {
                 continue;
@@ -113,7 +122,6 @@ impl QualityLog {
                 out[b as usize] |= fl;
             }
         }
-        out
     }
 }
 

@@ -1,6 +1,15 @@
 //! A single time series: sorted `(timestamp, value)` points plus
 //! range/downsampling queries.
-
+//!
+//! Storage is columnar (structure-of-arrays): one contiguous `Vec<i64>` of
+//! timestamps and one contiguous `Vec<f64>` of values, kept index-aligned.
+//! The hot read paths — `downsample`, `downsample_dense`, and the window
+//! scans behind the inference layer — walk the value column as branch-light
+//! batch loops over contiguous memory instead of striding over interleaved
+//! `(t, v)` pairs, and each bin's aggregate is folded as the scan passes
+//! (no per-bin temporary collection). The public `Point` API, the WAL
+//! encoding, and the store content hash are unchanged from the interleaved
+//! layout: `Point` is now a view struct materialized on demand.
 
 /// One sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,16 +38,45 @@ pub enum Aggregate {
     Last,
 }
 
-impl Aggregate {
-    fn apply(self, vals: &[f64]) -> f64 {
-        debug_assert!(!vals.is_empty());
-        match self {
-            Aggregate::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
-            Aggregate::Max => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-            Aggregate::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
-            Aggregate::Sum => vals.iter().sum(),
-            Aggregate::Count => vals.len() as f64,
-            Aggregate::Last => *vals.last().expect("non-empty"),
+/// Streaming per-bin accumulator: folds one value at a time in scan order,
+/// producing bit-identical results to aggregating a collected `Vec<f64>`
+/// per bin (min/max fold in the same order; mean/sum accumulate the same
+/// left-to-right partial sums).
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    acc: f64,
+    n: usize,
+}
+
+impl AggState {
+    fn new(agg: Aggregate) -> Self {
+        let acc = match agg {
+            Aggregate::Min => f64::INFINITY,
+            Aggregate::Max => f64::NEG_INFINITY,
+            _ => 0.0,
+        };
+        AggState { acc, n: 0 }
+    }
+
+    #[inline]
+    fn feed(&mut self, agg: Aggregate, v: f64) {
+        self.n += 1;
+        match agg {
+            Aggregate::Min => self.acc = self.acc.min(v),
+            Aggregate::Max => self.acc = self.acc.max(v),
+            Aggregate::Mean | Aggregate::Sum => self.acc += v,
+            Aggregate::Count => {}
+            Aggregate::Last => self.acc = v,
+        }
+    }
+
+    #[inline]
+    fn finish(&self, agg: Aggregate) -> f64 {
+        debug_assert!(self.n > 0);
+        match agg {
+            Aggregate::Mean => self.acc / self.n as f64,
+            Aggregate::Count => self.n as f64,
+            _ => self.acc,
         }
     }
 }
@@ -50,7 +88,10 @@ impl Aggregate {
 /// probes to three destinations in the same round legitimately share a bin).
 #[derive(Debug, Clone, Default)]
 pub struct Series {
-    points: Vec<Point>,
+    /// Timestamp column, sorted ascending.
+    ts: Vec<i64>,
+    /// Value column, index-aligned with `ts`.
+    vs: Vec<f64>,
     /// Id of this series' escaped key token in the attached WAL's registry,
     /// filled lazily on the first WAL append. Caching it here (where the
     /// write path already holds the shard lock) keeps journaled writes from
@@ -65,44 +106,64 @@ impl Series {
     }
 
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.ts.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.ts.is_empty()
     }
 
     /// Insert a sample, keeping the series sorted.
     pub fn push(&mut self, t: i64, v: f64) {
-        if self.points.last().is_none_or(|p| p.t <= t) {
-            self.points.push(Point::new(t, v));
+        if self.ts.last().is_none_or(|&last| last <= t) {
+            self.ts.push(t);
+            self.vs.push(v);
         } else {
-            let i = self.points.partition_point(|p| p.t <= t);
-            self.points.insert(i, Point::new(t, v));
+            let i = self.ts.partition_point(|&pt| pt <= t);
+            self.ts.insert(i, t);
+            self.vs.insert(i, v);
         }
     }
 
-    /// All points with `start <= t < end`. An empty or inverted window
-    /// (`end <= start`) selects nothing — callers forward user-supplied
-    /// windows (the serving layer's query parameters) straight here, so an
-    /// inverted range must be a harmless no-op, not a slice panic.
-    pub fn range(&self, start: i64, end: i64) -> &[Point] {
+    /// Index range `[lo, hi)` of points with `start <= t < end`. An empty or
+    /// inverted window (`end <= start`) selects nothing — callers forward
+    /// user-supplied windows (the serving layer's query parameters) straight
+    /// here, so an inverted range must be a harmless no-op.
+    fn index_range(&self, start: i64, end: i64) -> (usize, usize) {
         if end <= start {
-            return &[];
+            return (0, 0);
         }
-        let lo = self.points.partition_point(|p| p.t < start);
-        let hi = self.points.partition_point(|p| p.t < end);
-        &self.points[lo..hi]
+        let lo = self.ts.partition_point(|&t| t < start);
+        let hi = self.ts.partition_point(|&t| t < end);
+        (lo, hi)
     }
 
-    /// Every point.
-    pub fn all(&self) -> &[Point] {
-        &self.points
+    /// Column view of the window `start <= t < end`: `(timestamps, values)`,
+    /// index-aligned. The zero-copy primitive behind every windowed read.
+    pub fn range_cols(&self, start: i64, end: i64) -> (&[i64], &[f64]) {
+        let (lo, hi) = self.index_range(start, end);
+        (&self.ts[lo..hi], &self.vs[lo..hi])
+    }
+
+    /// All points with `start <= t < end`, materialized as `Point`s.
+    pub fn range(&self, start: i64, end: i64) -> Vec<Point> {
+        let (ts, vs) = self.range_cols(start, end);
+        ts.iter().zip(vs).map(|(&t, &v)| Point::new(t, v)).collect()
+    }
+
+    /// Every point, materialized.
+    pub fn all(&self) -> Vec<Point> {
+        self.ts.iter().zip(&self.vs).map(|(&t, &v)| Point::new(t, v)).collect()
+    }
+
+    /// Full column view: `(timestamps, values)`.
+    pub fn cols(&self) -> (&[i64], &[f64]) {
+        (&self.ts, &self.vs)
     }
 
     /// First/last timestamps, if any.
     pub fn span(&self) -> Option<(i64, i64)> {
-        Some((self.points.first()?.t, self.points.last()?.t))
+        Some((*self.ts.first()?, *self.ts.last()?))
     }
 
     /// Downsample the half-open window `[start, end)` into bins of
@@ -114,23 +175,26 @@ impl Series {
     /// Non-positive bins and empty/inverted windows yield no bins — these
     /// arrive from user-supplied query parameters, and must degrade to an
     /// empty result rather than panic.
+    ///
+    /// Streaming: each bin's aggregate is folded directly as the column scan
+    /// passes over it — no per-bin temporary collection.
     pub fn downsample(&self, start: i64, end: i64, bin_secs: i64, agg: Aggregate) -> Vec<Point> {
         if bin_secs <= 0 || end <= start {
             return Vec::new();
         }
-        let pts = self.range(start, end);
+        let (ts, vs) = self.range_cols(start, end);
         let mut out = Vec::new();
         let mut i = 0;
-        while i < pts.len() {
-            let bin_idx = (pts[i].t - start) / bin_secs;
+        while i < ts.len() {
+            let bin_idx = (ts[i] - start) / bin_secs;
             let bin_start = start + bin_idx * bin_secs;
             let bin_end = bin_start + bin_secs;
-            let mut vals = Vec::new();
-            while i < pts.len() && pts[i].t < bin_end {
-                vals.push(pts[i].v);
+            let mut st = AggState::new(agg);
+            while i < ts.len() && ts[i] < bin_end {
+                st.feed(agg, vs[i]);
                 i += 1;
             }
-            out.push(Point::new(bin_start, agg.apply(&vals)));
+            out.push(Point::new(bin_start, st.finish(agg)));
         }
         out
     }
@@ -146,27 +210,53 @@ impl Series {
         bin_secs: i64,
         agg: Aggregate,
     ) -> Vec<Option<f64>> {
+        let mut out = Vec::new();
+        self.downsample_dense_into(start, end, bin_secs, agg, &mut out);
+        out
+    }
+
+    /// [`Self::downsample_dense`] into a caller-owned buffer (cleared
+    /// first), so repeated window scans reuse one allocation. Fills bins
+    /// directly from the column scan — no intermediate sparse vector.
+    pub fn downsample_dense_into(
+        &self,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+        agg: Aggregate,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
         if bin_secs <= 0 || end <= start {
-            return Vec::new();
+            return;
         }
         let nbins = ((end - start) + bin_secs - 1) / bin_secs;
-        let mut out = vec![None; nbins as usize];
-        for p in self.downsample(start, end, bin_secs, agg) {
-            let idx = ((p.t - start) / bin_secs) as usize;
-            out[idx] = Some(p.v);
+        out.resize(nbins as usize, None);
+        let (ts, vs) = self.range_cols(start, end);
+        let mut i = 0;
+        while i < ts.len() {
+            let bin_idx = ((ts[i] - start) / bin_secs) as usize;
+            let bin_end = start + (bin_idx as i64 + 1) * bin_secs;
+            let mut st = AggState::new(agg);
+            while i < ts.len() && ts[i] < bin_end {
+                st.feed(agg, vs[i]);
+                i += 1;
+            }
+            out[bin_idx] = Some(st.finish(agg));
         }
-        out
     }
 
     /// Drop all points with `t < cutoff`; returns how many were removed.
     pub fn trim_before(&mut self, cutoff: i64) -> usize {
-        let keep_from = self.points.partition_point(|p| p.t < cutoff);
-        self.points.drain(..keep_from).count()
+        let keep_from = self.ts.partition_point(|&t| t < cutoff);
+        self.ts.drain(..keep_from);
+        self.vs.drain(..keep_from);
+        keep_from
     }
 
     /// Values only, over a range (utility for feeding statistics).
     pub fn values_in(&self, start: i64, end: i64) -> Vec<f64> {
-        self.range(start, end).iter().map(|p| p.v).collect()
+        self.range_cols(start, end).1.to_vec()
     }
 }
 
@@ -187,6 +277,9 @@ mod tests {
         let s = series(&[(10, 1.0), (5, 2.0), (20, 3.0), (15, 4.0)]);
         let ts: Vec<i64> = s.all().iter().map(|p| p.t).collect();
         assert_eq!(ts, vec![5, 10, 15, 20]);
+        // Value column stays aligned with the timestamp column.
+        assert_eq!(s.all()[0], Point::new(5, 2.0));
+        assert_eq!(s.cols().0.len(), s.cols().1.len());
     }
 
     #[test]
@@ -196,6 +289,9 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(s.range(5, 11).len(), 2);
         assert_eq!(s.range(11, 20).len(), 0);
+        let (ts, vs) = s.range_cols(5, 11);
+        assert_eq!(ts, &[5, 10]);
+        assert_eq!(vs, &[1.0, 2.0]);
     }
 
     #[test]
@@ -218,6 +314,16 @@ mod tests {
         let s = series(&[(0, 1.0), (900, 2.0)]);
         let bins = s.downsample_dense(0, 1200, 300, Aggregate::Min);
         assert_eq!(bins, vec![Some(1.0), None, None, Some(2.0)]);
+    }
+
+    #[test]
+    fn downsample_dense_into_reuses_buffer() {
+        let s = series(&[(0, 1.0), (900, 2.0)]);
+        let mut buf = vec![Some(99.0); 64];
+        s.downsample_dense_into(0, 1200, 300, Aggregate::Min, &mut buf);
+        assert_eq!(buf, vec![Some(1.0), None, None, Some(2.0)]);
+        s.downsample_dense_into(500, 100, 300, Aggregate::Min, &mut buf);
+        assert!(buf.is_empty(), "degenerate window clears the buffer");
     }
 
     #[test]

@@ -275,7 +275,7 @@ impl Store {
     /// Raw points of one series in `[start, end)`.
     pub fn query(&self, key: &SeriesKey, start: i64, end: i64) -> Vec<Point> {
         let shard = self.shard(key).read().unwrap();
-        shard.get(key).map(|s| s.range(start, end).to_vec()).unwrap_or_default()
+        shard.get(key).map(|s| s.range(start, end)).unwrap_or_default()
     }
 
     /// Downsampled view of one series (sparse: empty bins omitted).
@@ -303,15 +303,33 @@ impl Store {
         bin_secs: i64,
         agg: Aggregate,
     ) -> Vec<Option<f64>> {
+        let mut out = Vec::new();
+        self.downsample_dense_into(key, start, end, bin_secs, agg, &mut out);
+        out
+    }
+
+    /// [`Self::downsample_dense`] into a caller-owned buffer (cleared
+    /// first): the per-round inference loop rescans thousands of link
+    /// windows and must not pay one allocation per link per round.
+    pub fn downsample_dense_into(
+        &self,
+        key: &SeriesKey,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+        agg: Aggregate,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
         if bin_secs <= 0 || end <= start {
-            return Vec::new();
+            return;
         }
         let shard = self.shard(key).read().unwrap();
         match shard.get(key) {
-            Some(s) => s.downsample_dense(start, end, bin_secs, agg),
+            Some(s) => s.downsample_dense_into(start, end, bin_secs, agg, out),
             None => {
                 let nbins = ((end - start) + bin_secs - 1) / bin_secs;
-                vec![None; nbins as usize]
+                out.resize(nbins as usize, None);
             }
         }
     }
@@ -394,15 +412,30 @@ impl Store {
         end: i64,
         bin_secs: i64,
     ) -> Vec<QualityFlags> {
+        let mut out = Vec::new();
+        self.quality_dense_into(key, start, end, bin_secs, &mut out);
+        out
+    }
+
+    /// [`Self::quality_dense`] into a caller-owned buffer (cleared first).
+    pub fn quality_dense_into(
+        &self,
+        key: &SeriesKey,
+        start: i64,
+        end: i64,
+        bin_secs: i64,
+        out: &mut Vec<QualityFlags>,
+    ) {
+        out.clear();
         if bin_secs <= 0 || end <= start {
-            return Vec::new();
+            return;
         }
         let shard = self.quality[self.shard_index(key)].read().unwrap();
         match shard.get(key) {
-            Some(l) => l.dense(start, end, bin_secs),
+            Some(l) => l.dense_into(start, end, bin_secs, out),
             None => {
                 let nbins = ((end - start) + bin_secs - 1) / bin_secs;
-                vec![0; nbins as usize]
+                out.resize(nbins as usize, 0);
             }
         }
     }
@@ -463,7 +496,7 @@ impl Store {
         keys.dedup();
         let mut out = Vec::new();
         for key in keys {
-            for p in self.shard(&key).read().unwrap().get(&key).map(|s| s.all().to_vec()).unwrap_or_default() {
+            for p in self.shard(&key).read().unwrap().get(&key).map(|s| s.all()).unwrap_or_default() {
                 out.push(WalRecord::Sample { key: key.clone(), point: p });
             }
             for (from, to, flags) in self.quality_windows(&key) {

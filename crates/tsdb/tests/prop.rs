@@ -3,6 +3,32 @@
 use manic_tsdb::{parse_line, Aggregate, Point, Series, SeriesKey, Store, TagSet, WalRecord};
 use proptest::prelude::*;
 
+/// The seed's array-of-structs downsampling semantics: collect every bin's
+/// values into a `Vec<f64>` in stored order, then aggregate the collection.
+/// The columnar streaming fold must be value-identical (same fold order,
+/// same partial sums), not merely approximately equal.
+fn aos_reference_aggregate(vals: &[f64], agg: Aggregate) -> f64 {
+    match agg {
+        Aggregate::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
+        Aggregate::Max => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        Aggregate::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+        Aggregate::Sum => vals.iter().sum(),
+        Aggregate::Count => vals.len() as f64,
+        Aggregate::Last => *vals.last().unwrap(),
+    }
+}
+
+fn arb_aggregate() -> impl Strategy<Value = Aggregate> {
+    (0u8..6).prop_map(|i| match i {
+        0 => Aggregate::Min,
+        1 => Aggregate::Max,
+        2 => Aggregate::Mean,
+        3 => Aggregate::Sum,
+        4 => Aggregate::Count,
+        _ => Aggregate::Last,
+    })
+}
+
 proptest! {
     /// downsample(Min) output is <= every raw sample inside its bin and is a
     /// member of the bin.
@@ -233,6 +259,87 @@ proptest! {
             );
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Columnar downsampling is value-identical to the seed's AoS
+    /// collect-then-aggregate model, for every aggregate.
+    #[test]
+    fn downsample_matches_aos_reference(
+        pts in prop::collection::vec((0i64..5_000, -1e6f64..1e6), 1..150),
+        bin in 1i64..700,
+        agg in arb_aggregate(),
+        start in 0i64..2_000,
+        len in 1i64..5_000,
+    ) {
+        let mut s = Series::new();
+        for &(t, v) in &pts {
+            s.push(t, v);
+        }
+        let end = start + len;
+        // Reference: walk the stored points (insertion-stable sort order —
+        // the order the old interleaved layout iterated in), bucket into
+        // bins, aggregate each bucket as a collected Vec.
+        let stored = s.all();
+        let mut expected: Vec<(i64, f64)> = Vec::new();
+        let mut bin_start = start;
+        while bin_start < end {
+            let bin_end = (bin_start + bin).min(end);
+            let vals: Vec<f64> = stored
+                .iter()
+                .filter(|p| p.t >= bin_start && p.t < bin_end)
+                .map(|p| p.v)
+                .collect();
+            if !vals.is_empty() {
+                expected.push((bin_start, aos_reference_aggregate(&vals, agg)));
+            }
+            bin_start += bin;
+        }
+        let got: Vec<(i64, f64)> =
+            s.downsample(start, end, bin, agg).iter().map(|p| (p.t, p.v)).collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for (&(gt, gv), &(et, ev)) in got.iter().zip(&expected) {
+            prop_assert_eq!(gt, et);
+            prop_assert_eq!(
+                gv.to_bits(), ev.to_bits(),
+                "bin {}: columnar {} != reference {} ({:?})", gt, gv, ev, agg
+            );
+        }
+        // The dense variant must agree bin-for-bin with the sparse one.
+        let dense = s.downsample_dense(start, end, bin, agg);
+        let filled: Vec<(i64, f64)> = dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (start + i as i64 * bin, v)))
+            .collect();
+        prop_assert_eq!(filled, got);
+    }
+
+    /// `downsample_dense_into` / `quality_dense_into` are pure functions of
+    /// the window — a dirty reused buffer must not leak previous contents.
+    #[test]
+    fn dense_into_ignores_buffer_residue(
+        pts in prop::collection::vec((0i64..3_000, 0.0f64..100.0), 0..60),
+        windows in prop::collection::vec((0i64..3_000, 1i64..600, 1u8..16), 0..8),
+        bin in 1i64..400,
+        agg in arb_aggregate(),
+    ) {
+        let store = Store::new();
+        let key = SeriesKey::with_tags("m", &[("a", "b")]);
+        for &(t, v) in &pts {
+            store.write(&key, t, v);
+        }
+        for &(f, len, fl) in &windows {
+            store.annotate(&key, f, f + len, fl);
+        }
+        let fresh_bins = store.downsample_dense(&key, 0, 3_000, bin, agg);
+        let fresh_qual = store.quality_dense(&key, 0, 3_000, bin);
+        // Dirty buffers: wrong length, stale contents.
+        let mut bins = vec![Some(f64::MAX); 7];
+        let mut qual = vec![0xffu8; 1_000];
+        store.downsample_dense_into(&key, 0, 3_000, bin, agg, &mut bins);
+        store.quality_dense_into(&key, 0, 3_000, bin, &mut qual);
+        prop_assert_eq!(bins, fresh_bins);
+        prop_assert_eq!(qual, fresh_qual);
     }
 
     /// Dense downsampling covers every bin exactly once.

@@ -53,11 +53,28 @@ fn verdicts(sys: &mut System, from: i64, to: i64) -> Vec<String> {
     out
 }
 
+/// Content fingerprints of every VP's incremental link summaries, sorted by
+/// `(vp, near, far)`. These cover the ring *content* (dense mins, quality
+/// flags, presence, window position) — so equality here is strictly
+/// stronger than verdict equality: the whole incremental state must match,
+/// not just what the detector concluded from it.
+fn summary_fingerprints(sys: &System) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for vp in &sys.vps {
+        for ((near, far), s) in &vp.summaries {
+            out.push((format!("{}/{near}/{far}", vp.handle.name), s.fingerprint()));
+        }
+    }
+    out.sort();
+    out
+}
+
 struct Fingerprint {
     hash: u64,
     series: usize,
     points: usize,
     verdicts: Vec<String>,
+    summaries: Vec<(String, u64)>,
 }
 
 fn fingerprint(sys: &mut System, from: i64, to: i64) -> Fingerprint {
@@ -66,6 +83,7 @@ fn fingerprint(sys: &mut System, from: i64, to: i64) -> Fingerprint {
         series: sys.store.series_count(),
         points: sys.store.point_count(),
         verdicts: verdicts(sys, from, to),
+        summaries: summary_fingerprints(sys),
     }
 }
 
@@ -78,6 +96,11 @@ fn assert_identical(serial: &Fingerprint, parallel: &Fingerprint, label: &str) {
     assert_eq!(serial.series, parallel.series, "{label}: series count diverged");
     assert_eq!(serial.points, parallel.points, "{label}: point count diverged");
     assert_eq!(serial.verdicts, parallel.verdicts, "{label}: verdicts diverged");
+    assert!(!serial.summaries.is_empty(), "{label}: no link summaries were built");
+    assert_eq!(
+        serial.summaries, parallel.summaries,
+        "{label}: incremental link-summary state diverged"
+    );
 }
 
 fn run_pair(chaos: bool, label: &str) {
